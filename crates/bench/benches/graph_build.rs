@@ -1,0 +1,56 @@
+//! Benchmarks of distributed graph generation (paper Sec. II-A pipeline)
+//! and of the closed-form Table II statistics path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cgnn_graph::{analytic_block_profiles, build_distributed_graph, build_global_graph};
+use cgnn_mesh::BoxMesh;
+use cgnn_partition::{Layout, Partition, Strategy};
+use cgnn_perf::cubic_layout;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for (label, e, p) in [("8x8x8_p2", 8usize, 2usize), ("4x4x4_p5", 4, 5)] {
+        let mesh = BoxMesh::new((e, e, e), p, (1.0, 1.0, 1.0), false);
+        group.throughput(Throughput::Elements(mesh.num_global_nodes() as u64));
+        group.bench_function(format!("global_{label}"), |b| {
+            b.iter(|| build_global_graph(&mesh))
+        });
+        let part = Partition::new(&mesh, 8, Strategy::Block);
+        group.bench_function(format!("distributed_r8_{label}"), |b| {
+            b.iter(|| build_distributed_graph(&mesh, &part))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    let mesh = BoxMesh::new((16, 16, 16), 1, (1.0, 1.0, 1.0), false);
+    for strategy in [Strategy::Slab, Strategy::Block, Strategy::Rcb] {
+        group.bench_function(format!("{strategy:?}_r16_4096_elems"), |b| {
+            b.iter(|| Partition::new(&mesh, 16, strategy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_analytic_stats");
+    // The Frontier-scale case: 2048 ranks, 1.1e9 total nodes.
+    let layout: Layout = cubic_layout(2048);
+    let mesh = BoxMesh::new(
+        (layout.rx * 16, layout.ry * 16, layout.rz * 16),
+        5,
+        (1.0, 1.0, 1.0),
+        true,
+    );
+    group.bench_function("r2048_1.1e9_nodes", |b| {
+        b.iter(|| analytic_block_profiles(&mesh, &layout))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_partitioners, bench_analytic_stats);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Benchmarks of the consistent NMP layer and the halo exchange modes —
+//! the measured counterpart of the paper's Fig. 7/8 cost decomposition:
+//! one bench per halo-exchange implementation at R = 8 thread-ranks, plus
+//! single-rank layer forward/backward as the compute baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+use cgnn_comm::World;
+use cgnn_core::{
+    halo_exchange_apply, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode,
+    RankData, Trainer,
+};
+use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
+use cgnn_mesh::{BoxMesh, TaylorGreen};
+use cgnn_partition::{Partition, Strategy};
+use cgnn_tensor::{Tape, Tensor};
+
+/// Single-rank full-model forward+backward+update: the compute term.
+fn bench_training_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_iteration_single_rank");
+    group.sample_size(10);
+    let mesh = BoxMesh::tgv_cube(6, 2);
+    let graph = Arc::new(build_global_graph(&mesh));
+    let field = TaylorGreen::new(0.01);
+    group.throughput(Throughput::Elements(graph.n_local() as u64));
+    for (label, config) in [("small", GnnConfig::small()), ("large", GnnConfig::large())] {
+        let g = Arc::clone(&graph);
+        group.bench_function(format!("{label}_{}_nodes", graph.n_local()), |b| {
+            b.iter_custom(|iters| {
+                let g = Arc::clone(&g);
+                World::run(1, move |comm| {
+                    let ctx = HaloContext::single(comm.clone());
+                    let mut t = Trainer::new(config, 1, 1e-4, ctx);
+                    let data = RankData::tgv_autoencode(Arc::clone(&g), &field, 0.0);
+                    t.step(&data); // warm-up
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        t.step(&data);
+                    }
+                    start.elapsed()
+                })
+                .pop()
+                .expect("one result")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw halo exchange cost per mode at R = 8 (paper Fig. 8's isolated cost).
+fn bench_halo_exchange_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange_r8");
+    group.sample_size(10);
+    let mesh = BoxMesh::new((8, 8, 8), 2, (1.0, 1.0, 1.0), false);
+    let part = Partition::new(&mesh, 8, Strategy::Block);
+    let graphs: Arc<Vec<Arc<LocalGraph>>> =
+        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let hidden = 32;
+    for mode in [
+        HaloExchangeMode::AllToAll,
+        HaloExchangeMode::NeighborAllToAll,
+        HaloExchangeMode::SendRecv,
+    ] {
+        let graphs = Arc::clone(&graphs);
+        group.bench_function(mode.label(), |b| {
+            b.iter_custom(|iters| {
+                let graphs = Arc::clone(&graphs);
+                let times = World::run(8, move |comm| {
+                    let g = Arc::clone(&graphs[comm.rank()]);
+                    let ctx = HaloContext::new(comm.clone(), &g, mode);
+                    let a = Tensor::from_fn(g.n_local(), hidden, |r, c| (r + c) as f64);
+                    comm.barrier();
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        let _ = halo_exchange_apply(&a, &g, &ctx);
+                    }
+                    start.elapsed()
+                });
+                times.into_iter().max().expect("eight results")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full-model forward pass per exchange mode at R = 8: end-to-end relative
+/// cost of consistency (the measured analogue of Fig. 8).
+fn bench_consistent_forward_r8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_forward_r8");
+    group.sample_size(10);
+    let mesh = BoxMesh::new((8, 8, 8), 1, (1.0, 1.0, 1.0), false);
+    let part = Partition::new(&mesh, 8, Strategy::Block);
+    let graphs: Arc<Vec<Arc<LocalGraph>>> =
+        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    for mode in
+        [HaloExchangeMode::None, HaloExchangeMode::AllToAll, HaloExchangeMode::NeighborAllToAll]
+    {
+        let graphs = Arc::clone(&graphs);
+        group.bench_function(mode.label(), |b| {
+            b.iter_custom(|iters| {
+                let graphs = Arc::clone(&graphs);
+                let times = World::run(8, move |comm| {
+                    let g = Arc::clone(&graphs[comm.rank()]);
+                    let ctx = HaloContext::new(comm.clone(), &g, mode);
+                    let (params, model) = ConsistentGnn::seeded(GnnConfig::small(), 3);
+                    let idx = GraphIndices::from_graph(&g);
+                    let x0 = Tensor::from_fn(g.n_local(), 3, |r, c| (r * 3 + c) as f64 * 1e-4);
+                    let e0 = Tensor::from_fn(g.n_edges(), 7, |r, c| (r + c) as f64 * 1e-5);
+                    comm.barrier();
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        let mut tape = Tape::new();
+                        let bound = params.bind(&mut tape);
+                        let x = tape.leaf(x0.clone());
+                        let e = tape.leaf(e0.clone());
+                        let _ = model.forward(&mut tape, &bound, x, e, &g, &idx, &ctx);
+                    }
+                    start.elapsed()
+                });
+                times.into_iter().max().expect("eight results")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training_iteration,
+    bench_halo_exchange_modes,
+    bench_consistent_forward_r8
+);
+criterion_main!(benches);

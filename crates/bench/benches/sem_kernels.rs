@@ -1,0 +1,50 @@
+//! Benchmarks of the spectral-element substrate: stiffness application,
+//! gather-scatter (the solver twin of the GNN halo sync), and a full
+//! RK4 diffusion step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cgnn_mesh::BoxMesh;
+use cgnn_sem::{DiffusionSolver, ElementOps, GatherScatter};
+
+fn bench_stiffness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sem_stiffness");
+    for p in [2usize, 5, 7] {
+        let mesh = BoxMesh::new((2, 2, 2), p, (1.0, 1.0, 1.0), false);
+        let ops = ElementOps::new(&mesh);
+        let n3 = mesh.nodes_per_element();
+        let u: Vec<f64> = (0..n3).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut out = vec![0.0; n3];
+        let mut scratch = vec![0.0; n3];
+        group.throughput(Throughput::Elements(n3 as u64));
+        group.bench_function(format!("apply_p{p}"), |b| {
+            b.iter(|| ops.apply_stiffness(&u, &mut out, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sem_gather_scatter");
+    let mesh = BoxMesh::new((6, 6, 6), 3, (1.0, 1.0, 1.0), false);
+    let gs = GatherScatter::new(&mesh);
+    let mut local = vec![1.0; gs.slot_gid.len()];
+    group.throughput(Throughput::Elements(local.len() as u64));
+    group.bench_function("dssum_6x6x6_p3", |b| b.iter(|| gs.dssum(&mut local)));
+    group.finish();
+}
+
+fn bench_rk4_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sem_rk4");
+    group.sample_size(10);
+    let tau = 2.0 * std::f64::consts::PI;
+    let mesh = BoxMesh::new((4, 4, 4), 4, (tau, tau, tau), true);
+    let solver = DiffusionSolver::new(&mesh, 0.1);
+    let mut u: Vec<f64> = (0..solver.n_dofs()).map(|i| (i as f64 * 0.01).sin()).collect();
+    group.throughput(Throughput::Elements(solver.n_dofs() as u64));
+    group.bench_function("step_4x4x4_p4", |b| b.iter(|| solver.rk4_step(&mut u, 1e-6)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_stiffness, bench_gather_scatter, bench_rk4_step);
+criterion_main!(benches);

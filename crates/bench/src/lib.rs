@@ -1,0 +1,59 @@
+//! Shared helpers for the benchmark harness: every table and figure of the
+//! paper's evaluation section has a regeneration binary in `src/bin/`, and
+//! the kernel-level Criterion benches live in `benches/`.
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table I (model settings)            | `table1` |
+//! | Table II (sub-graph statistics)     | `table2` |
+//! | Fig. 6 left (loss vs R)             | `fig6_left` |
+//! | Fig. 6 right (training curves)      | `fig6_right` |
+//! | Fig. 7 (weak scaling)               | `fig7` |
+//! | Fig. 8 (relative throughput)        | `fig8` |
+
+use std::sync::Arc;
+
+use cgnn_core::{
+    consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext,
+};
+use cgnn_graph::{edge_features, node_velocity_features, LocalGraph};
+use cgnn_mesh::TaylorGreen;
+use cgnn_tensor::{Tape, Tensor};
+
+/// Evaluate the consistent loss of a seeded, randomly initialized GNN with
+/// the input as target (the paper's Fig. 6 demonstration protocol).
+pub fn demo_loss(g: &Arc<LocalGraph>, ctx: &HaloContext, seed: u64) -> f64 {
+    let (params, model) = ConsistentGnn::seeded(GnnConfig::small(), seed);
+    let field = TaylorGreen::new(0.01);
+    let x_buf = node_velocity_features(g, &field, 0.0);
+    let e_buf = edge_features(g, &x_buf, 3);
+    let idx = GraphIndices::from_graph(g);
+    let mut tape = Tape::new();
+    let bound = params.bind(&mut tape);
+    let x = tape.leaf(Tensor::from_vec(g.n_local(), 3, x_buf.clone()));
+    let e = tape.leaf(Tensor::from_vec(g.n_edges(), 7, e_buf));
+    let y = model.forward(&mut tape, &bound, x, e, g, &idx, ctx);
+    let target = Tensor::from_vec(g.n_local(), 3, x_buf);
+    let l = consistent_mse(&mut tape, y, &target, g, &idx.node_inv_degree, &ctx.comm);
+    tape.value(l).item()
+}
+
+/// Parse an env var override with a default (used by the figure binaries to
+/// switch between quick and paper-scale runs).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Write a serializable result as pretty JSON under `results/`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    std::fs::write(&path, json).expect("write results file");
+    println!("\n[wrote {}]", path.display());
+}
+
+/// serde bridge: serde is re-exported through serde_json's dependency; the
+/// bound above needs the real crate.
+pub use serde;

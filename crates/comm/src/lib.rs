@@ -1,0 +1,23 @@
+//! # cgnn-comm
+//!
+//! In-process "MPI" for the consistent-GNN reproduction: each rank is an OS
+//! thread, and collectives are built on shared slots + barriers so that
+//! reductions are **deterministic and identical on every rank**.
+//!
+//! This substitutes for the PyTorch Distributed / RCCL stack of the paper.
+//! The arithmetic-consistency results (paper Eqs. 2-3, Fig. 6) only require
+//! *correct* collectives; the Frontier-scale *costs* of these collectives
+//! are modeled separately in `cgnn-perf`, fed by the traffic counters
+//! recorded here ([`stats`]).
+//!
+//! Supported operations mirror what the paper uses:
+//! * `all_reduce` (consistent loss Eq. 6 and DDP gradient reduction),
+//! * `all_to_all` with optionally-empty buffers (the A2A and Neighbor-A2A
+//!   halo exchange implementations),
+//! * point-to-point `send`/`recv` (the custom Send-Recv halo exchange).
+
+pub mod stats;
+pub mod world;
+
+pub use stats::{RankStats, StatsSnapshot};
+pub use world::{Comm, World};

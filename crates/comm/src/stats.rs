@@ -1,0 +1,78 @@
+//! Per-rank communication traffic accounting.
+//!
+//! Every collective and point-to-point call records message counts and byte
+//! volumes. The weak-scaling performance model (`cgnn-perf`) consumes these
+//! numbers to charge Frontier-like network costs to the measured traffic,
+//! and the paper's A2A vs N-A2A comparison (Figs. 7-8) is fundamentally a
+//! statement about these volumes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-rank counters. Padded indirectly by being stored one per
+/// rank in a `Vec` of heap boxes; contention is nil because each rank only
+/// writes its own counters.
+#[derive(Default, Debug)]
+pub struct RankStats {
+    /// Number of barrier-style synchronizations.
+    pub barriers: AtomicU64,
+    /// Number of all-reduce calls.
+    pub all_reduces: AtomicU64,
+    /// Bytes contributed to all-reduce calls (payload, one direction).
+    pub all_reduce_bytes: AtomicU64,
+    /// Number of all-to-all calls.
+    pub all_to_alls: AtomicU64,
+    /// Non-empty messages sent inside all-to-all calls.
+    pub a2a_messages: AtomicU64,
+    /// Bytes sent inside all-to-all calls (non-empty buffers only).
+    pub a2a_bytes: AtomicU64,
+    /// Point-to-point sends.
+    pub sends: AtomicU64,
+    /// Bytes sent point-to-point.
+    pub send_bytes: AtomicU64,
+}
+
+/// Plain-old-data snapshot of [`RankStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub barriers: u64,
+    pub all_reduces: u64,
+    pub all_reduce_bytes: u64,
+    pub all_to_alls: u64,
+    pub a2a_messages: u64,
+    pub a2a_bytes: u64,
+    pub sends: u64,
+    pub send_bytes: u64,
+}
+
+impl RankStats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            barriers: self.barriers.load(Ordering::Relaxed),
+            all_reduces: self.all_reduces.load(Ordering::Relaxed),
+            all_reduce_bytes: self.all_reduce_bytes.load(Ordering::Relaxed),
+            all_to_alls: self.all_to_alls.load(Ordering::Relaxed),
+            a2a_messages: self.a2a_messages.load(Ordering::Relaxed),
+            a2a_bytes: self.a2a_bytes.load(Ordering::Relaxed),
+            sends: self.sends.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.barriers.store(0, Ordering::Relaxed);
+        self.all_reduces.store(0, Ordering::Relaxed);
+        self.all_reduce_bytes.store(0, Ordering::Relaxed);
+        self.all_to_alls.store(0, Ordering::Relaxed);
+        self.a2a_messages.store(0, Ordering::Relaxed);
+        self.a2a_bytes.store(0, Ordering::Relaxed);
+        self.sends.store(0, Ordering::Relaxed);
+        self.send_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Total bytes this rank pushed onto the (virtual) network.
+    pub fn total_bytes(&self) -> u64 {
+        self.all_reduce_bytes + self.a2a_bytes + self.send_bytes
+    }
+}

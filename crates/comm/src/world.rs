@@ -1,0 +1,384 @@
+//! Thread-rank "MPI world": spawn R ranks as OS threads sharing a
+//! communicator, mirroring the paper's one-GPU-per-MPI-rank setup.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::stats::{RankStats, StatsSnapshot};
+
+/// Message on a point-to-point channel: `(tag, payload)`.
+type P2pMsg = (u32, Vec<f64>);
+
+/// Shared state backing one world of `size` ranks.
+struct Shared {
+    size: usize,
+    barrier: Barrier,
+    /// All-reduce / all-gather contribution slots, one per rank. Each entry
+    /// carries the op label so mismatched collective sequences fail loudly
+    /// instead of producing garbage.
+    gather_slots: Vec<Mutex<Option<(&'static str, Vec<f64>)>>>,
+    /// All-to-all slots: `a2a_slots[src][dst]`.
+    a2a_slots: Vec<Vec<Mutex<Option<Vec<f64>>>>>,
+    /// Point-to-point senders, indexed `[src][dst]`.
+    senders: Vec<Vec<Sender<P2pMsg>>>,
+    /// Receivers handed out to their owning rank at startup.
+    receivers: Vec<Mutex<Option<Vec<Receiver<P2pMsg>>>>>,
+    stats: Vec<RankStats>,
+}
+
+/// Per-rank communicator handle. Cloneable; clones refer to the same world
+/// and the same rank (so they can be captured by autodiff backward closures).
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// Receivers for messages addressed to this rank, one per source rank.
+    rx: Arc<Vec<Receiver<P2pMsg>>>,
+}
+
+/// A collection of `R` thread-ranks executing the same SPMD closure.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks (threads), returning each rank's result in
+    /// rank order. Panics in any rank propagate.
+    ///
+    /// ```
+    /// use cgnn_comm::World;
+    /// let sums = World::run(4, |comm| {
+    ///     let mut v = [comm.rank() as f64];
+    ///     comm.all_reduce_sum(&mut v);
+    ///     v[0]
+    /// });
+    /// assert_eq!(sums, vec![6.0; 4]);
+    /// ```
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let shared = Self::build_shared(size);
+        let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let rx = shared.receivers[rank]
+                        .lock()
+                        .take()
+                        .expect("receiver set already taken");
+                    let comm = Comm { rank, shared, rx: Arc::new(rx) };
+                    *slot = Some(f(&comm));
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    fn build_shared(size: usize) -> Arc<Shared> {
+        let mut senders: Vec<Vec<Sender<P2pMsg>>> = (0..size).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Receiver<P2pMsg>>> = (0..size).map(|_| Vec::new()).collect();
+        for _src in 0..size {
+            for dst in 0..size {
+                let (tx, rx) = unbounded();
+                receivers[dst].push(rx);
+                senders[_src].push(tx);
+            }
+        }
+        // receivers[dst][src] must index by source; the loop above pushes in
+        // src-major order into dst's list, giving exactly that layout.
+        Arc::new(Shared {
+            size,
+            barrier: Barrier::new(size),
+            gather_slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            a2a_slots: (0..size)
+                .map(|_| (0..size).map(|_| Mutex::new(None)).collect())
+                .collect(),
+            senders,
+            receivers: receivers.into_iter().map(|r| Mutex::new(Some(r))).collect(),
+            stats: (0..size).map(|_| RankStats::default()).collect(),
+        })
+    }
+}
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn stats(&self) -> &RankStats {
+        &self.shared.stats[self.rank]
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.stats().barriers.fetch_add(1, Ordering::Relaxed);
+        self.shared.barrier.wait();
+    }
+
+    /// Deterministic all-reduce (sum) over `buf`, in place.
+    ///
+    /// Every rank sums the per-rank contributions in rank order, so all
+    /// ranks compute bit-identical results — essential for keeping DDP
+    /// replicas in lockstep without parameter broadcasts.
+    pub fn all_reduce_sum(&self, buf: &mut [f64]) {
+        let parts = self.all_gather_labeled("all_reduce_sum", buf.to_vec());
+        self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
+        self.stats()
+            .all_reduce_bytes
+            .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+        buf.fill(0.0);
+        for part in &parts {
+            assert_eq!(part.len(), buf.len(), "all_reduce_sum length mismatch across ranks");
+            for (b, &p) in buf.iter_mut().zip(part.iter()) {
+                *b += p;
+            }
+        }
+    }
+
+    /// All-reduce a single scalar (sum).
+    pub fn all_reduce_scalar(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.all_reduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Deterministic all-reduce (max).
+    pub fn all_reduce_max(&self, buf: &mut [f64]) {
+        let parts = self.all_gather_labeled("all_reduce_max", buf.to_vec());
+        self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
+        self.stats()
+            .all_reduce_bytes
+            .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+        buf.fill(f64::NEG_INFINITY);
+        for part in &parts {
+            for (b, &p) in buf.iter_mut().zip(part.iter()) {
+                *b = b.max(p);
+            }
+        }
+    }
+
+    /// Gather every rank's buffer; result is indexed by rank and identical
+    /// on all ranks.
+    pub fn all_gather(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        self.all_gather_labeled("all_gather", data)
+    }
+
+    fn all_gather_labeled(&self, label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
+        *self.shared.gather_slots[self.rank].lock() = Some((label, data));
+        self.shared.barrier.wait();
+        let mut out = Vec::with_capacity(self.size());
+        for slot in &self.shared.gather_slots {
+            let guard = slot.lock();
+            let (op, data) = guard.as_ref().expect("collective slot empty");
+            assert_eq!(
+                *op, label,
+                "collective mismatch: rank {} is in `{}` while another rank is in `{}`",
+                self.rank, label, op
+            );
+            out.push(data.clone());
+        }
+        // Second barrier: nobody may overwrite slots until everyone has read.
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// All-to-all exchange. `send[dst]` is the buffer for rank `dst`; empty
+    /// buffers mean "no traffic to that peer" (the paper's Neighbor-AllToAll
+    /// trick of passing `torch.empty(0)` for non-neighbours). Returns
+    /// `recv[src]`, the buffer sent to this rank by rank `src`.
+    pub fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(send.len(), self.size(), "all_to_all needs one buffer per rank");
+        let st = self.stats();
+        st.all_to_alls.fetch_add(1, Ordering::Relaxed);
+        for (dst, buf) in send.iter().enumerate() {
+            if dst != self.rank && !buf.is_empty() {
+                st.a2a_messages.fetch_add(1, Ordering::Relaxed);
+                st.a2a_bytes
+                    .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+            }
+        }
+        for (dst, buf) in send.into_iter().enumerate() {
+            *self.shared.a2a_slots[self.rank][dst].lock() = Some(buf);
+        }
+        self.shared.barrier.wait();
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            let buf = self.shared.a2a_slots[src][self.rank]
+                .lock()
+                .take()
+                .expect("all_to_all slot empty: mismatched collective sequence");
+            out.push(buf);
+        }
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// Non-blocking-style point-to-point send (buffered, never blocks).
+    pub fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let st = self.stats();
+        st.sends.fetch_add(1, Ordering::Relaxed);
+        st.send_bytes
+            .fetch_add((data.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+        self.shared.senders[self.rank][dst]
+            .send((tag, data))
+            .expect("p2p channel closed");
+    }
+
+    /// Blocking receive from `src`; the next message's tag must equal `tag`
+    /// (channels deliver in order, so a mismatch means the program's
+    /// communication schedules diverged).
+    pub fn recv(&self, src: usize, tag: u32) -> Vec<f64> {
+        assert!(src < self.size(), "recv from invalid rank {src}");
+        let (got_tag, data) = self.rx[src].recv().expect("p2p channel closed");
+        assert_eq!(
+            got_tag, tag,
+            "rank {} expected tag {tag} from {src} but got {got_tag}",
+            self.rank
+        );
+        data
+    }
+
+    /// Snapshot this rank's traffic counters.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+
+    /// Reset this rank's traffic counters.
+    pub fn stats_reset(&self) {
+        self.stats().reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.all_reduce_scalar(5.0)
+        });
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_deterministic_and_identical() {
+        let out = World::run(7, |comm| {
+            let mut v = vec![comm.rank() as f64 * 0.1, 1.0];
+            comm.all_reduce_sum(&mut v);
+            v
+        });
+        for v in &out {
+            assert_eq!(v, &out[0], "ranks disagree on reduced value");
+        }
+        assert!((out[0][1] - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_reduce_max_works() {
+        let out = World::run(4, |comm| {
+            let mut v = vec![-(comm.rank() as f64), comm.rank() as f64];
+            comm.all_reduce_max(&mut v);
+            v
+        });
+        assert_eq!(out[0], vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn all_to_all_exchanges_rank_tagged_buffers() {
+        let out = World::run(4, |comm| {
+            let send: Vec<Vec<f64>> = (0..4)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as f64])
+                .collect();
+            comm.all_to_all(send)
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for (src, buf) in recv.iter().enumerate() {
+                assert_eq!(buf, &vec![(src * 10 + dst) as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_empty_buffers_skip_traffic() {
+        let out = World::run(3, |comm| {
+            let send: Vec<Vec<f64>> = (0..3)
+                .map(|dst| if dst == (comm.rank() + 1) % 3 { vec![1.0, 2.0] } else { vec![] })
+                .collect();
+            let recv = comm.all_to_all(send);
+            (recv, comm.stats_snapshot())
+        });
+        for (rank, (recv, stats)) in out.iter().enumerate() {
+            let from = (rank + 2) % 3;
+            assert_eq!(recv[from], vec![1.0, 2.0]);
+            assert_eq!(stats.a2a_messages, 1, "only one real message per rank");
+            assert_eq!(stats.a2a_bytes, 16);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let out = World::run(5, |comm| {
+            let mut total = 0.0;
+            for i in 0..20 {
+                total += comm.all_reduce_scalar((comm.rank() + i) as f64);
+            }
+            total
+        });
+        let expect: f64 = (0..20).map(|i| (0..5).map(|r| (r + i) as f64).sum::<f64>()).sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn p2p_ring_send_recv() {
+        let out = World::run(6, |comm| {
+            let next = (comm.rank() + 1) % 6;
+            let prev = (comm.rank() + 5) % 6;
+            comm.send(next, 7, vec![comm.rank() as f64]);
+            comm.recv(prev, 7)
+        });
+        for (rank, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![((rank + 5) % 6) as f64]);
+        }
+    }
+
+    #[test]
+    fn all_gather_returns_rank_ordered() {
+        let out = World::run(3, |comm| comm.all_gather(vec![comm.rank() as f64; 2]));
+        for parts in out {
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as f64; 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reset_zeroes() {
+        World::run(2, |comm| {
+            comm.all_reduce_scalar(1.0);
+            assert!(comm.stats_snapshot().all_reduces > 0);
+            comm.stats_reset();
+            assert_eq!(comm.stats_snapshot().all_reduces, 0);
+        });
+    }
+}

@@ -1,0 +1,397 @@
+//! The consistent neural message passing layer (paper Eq. 4).
+//!
+//! Stages, per rank `r`:
+//!
+//! 1. edge update `e_ij <- MLP(x_i, x_j, e_ij)` (+ residual),
+//! 2. local edge aggregation `a_i = sum_{j in N(i)} e_ij / d_ij`,
+//! 3. **differentiable halo swap** of the aggregates (Eq. 4c),
+//! 4. synchronization `a*_i = sum over coincident copies` (Eq. 4d),
+//! 5. node update `x_i <- MLP(a*_i, x_i)` (+ residual).
+//!
+//! Steps 3-4 are one fused [`HaloSyncOp`] recorded on the tape; its backward
+//! is the same exchange applied to the adjoints (the operator is globally
+//! symmetric), which is what makes Eq. 3 — gradient consistency — hold.
+
+use std::sync::Arc;
+
+use cgnn_graph::LocalGraph;
+use cgnn_tensor::nn::{BoundParams, Mlp, ParamSet};
+use cgnn_tensor::tape::CustomOp;
+use cgnn_tensor::{Tape, Tensor, VarId};
+use rand::Rng;
+
+use crate::exchange::{halo_exchange_apply, HaloContext};
+
+/// Shared, per-pass-immutable index buffers of one rank's local graph.
+#[derive(Clone)]
+pub struct GraphIndices {
+    pub src: Arc<Vec<usize>>,
+    pub dst: Arc<Vec<usize>>,
+    pub edge_inv_degree: Arc<Vec<f64>>,
+    pub node_inv_degree: Arc<Vec<f64>>,
+    pub n_local: usize,
+}
+
+impl GraphIndices {
+    pub fn from_graph(g: &LocalGraph) -> Self {
+        GraphIndices {
+            src: Arc::new(g.edge_src.clone()),
+            dst: Arc::new(g.edge_dst.clone()),
+            edge_inv_degree: Arc::new(g.edge_inv_degree.clone()),
+            node_inv_degree: Arc::new(g.node_inv_degree.clone()),
+            n_local: g.n_local(),
+        }
+    }
+}
+
+/// Differentiable halo swap + synchronization as a tape op.
+///
+/// Forward: `a* = H a` where `H = I + sum of neighbour swaps`.
+/// Backward: `da = H^T da* = H da*` — the same exchange on the adjoints,
+/// mirroring `torch.distributed.nn`'s differentiable collectives.
+pub struct HaloSyncOp {
+    graph: Arc<LocalGraph>,
+    ctx: HaloContext,
+}
+
+impl CustomOp for HaloSyncOp {
+    fn name(&self) -> &'static str {
+        "halo_sync"
+    }
+
+    fn backward(&self, grad_out: &Tensor, _inputs: &[&Tensor]) -> Vec<Option<Tensor>> {
+        vec![Some(halo_exchange_apply(grad_out, &self.graph, &self.ctx))]
+    }
+}
+
+/// Record the halo sync on the tape (performs the forward exchange).
+pub fn halo_sync(
+    tape: &mut Tape,
+    a: VarId,
+    graph: &Arc<LocalGraph>,
+    ctx: &HaloContext,
+) -> VarId {
+    if !ctx.mode.is_consistent() || ctx.comm.size() == 1 {
+        // Identity; nothing to record.
+        return a;
+    }
+    let value = halo_exchange_apply(tape.value(a), graph, ctx);
+    tape.custom(
+        vec![a],
+        value,
+        Box::new(HaloSyncOp { graph: Arc::clone(graph), ctx: ctx.clone() }),
+    )
+}
+
+/// One consistent neural message passing layer.
+#[derive(Debug, Clone)]
+pub struct ConsistentMpLayer {
+    pub edge_mlp: Mlp,
+    pub node_mlp: Mlp,
+}
+
+impl ConsistentMpLayer {
+    /// Build a layer with hidden width `hidden` and `mlp_hidden` interior
+    /// MLP layers. Edge MLP input is `(x_i, x_j, e_ij)` (3 x hidden); node
+    /// MLP input is `(a*_i, x_i)` (2 x hidden).
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        hidden: usize,
+        mlp_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ConsistentMpLayer {
+            edge_mlp: Mlp::new(
+                params,
+                &format!("{name}.edge"),
+                3 * hidden,
+                hidden,
+                hidden,
+                mlp_hidden,
+                true,
+                rng,
+            ),
+            node_mlp: Mlp::new(
+                params,
+                &format!("{name}.node"),
+                2 * hidden,
+                hidden,
+                hidden,
+                mlp_hidden,
+                true,
+                rng,
+            ),
+        }
+    }
+
+    /// Forward pass; returns `(x_new, e_new)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundParams,
+        x: VarId,
+        e: VarId,
+        graph: &Arc<LocalGraph>,
+        idx: &GraphIndices,
+        ctx: &HaloContext,
+    ) -> (VarId, VarId) {
+        // (1) Edge update with residual (Eq. 4a).
+        let xi = tape.gather_rows(x, idx.src.clone());
+        let xj = tape.gather_rows(x, idx.dst.clone());
+        let cat = tape.concat_cols(&[xi, xj, e]);
+        let e_upd = self.edge_mlp.forward(tape, bound, cat);
+        let e_new = tape.add(e_upd, e);
+
+        // (2) Degree-weighted local aggregation at the receiver (Eq. 4b).
+        let scaled = tape.row_scale(e_new, idx.edge_inv_degree.clone());
+        let a = tape.scatter_add_rows(scaled, idx.dst.clone(), idx.n_local);
+
+        // (3)+(4) Halo swap + synchronization (Eqs. 4c-4d).
+        let a_star = halo_sync(tape, a, graph, ctx);
+
+        // (5) Node update with residual (Eq. 4e).
+        let cat = tape.concat_cols(&[a_star, x]);
+        let x_upd = self.node_mlp.forward(tape, bound, cat);
+        let x_new = tape.add(x_upd, x);
+        (x_new, e_new)
+    }
+
+    pub fn num_scalars(&self) -> usize {
+        self.edge_mlp.num_scalars() + self.node_mlp.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::HaloExchangeMode;
+    use cgnn_comm::World;
+    use cgnn_graph::{build_distributed_graph, build_global_graph};
+    use cgnn_mesh::BoxMesh;
+    use cgnn_partition::{Partition, Strategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A single consistent MP layer evaluated on R=2 must reproduce the R=1
+    /// result node-for-node (paper Eq. 2 at layer granularity).
+    #[test]
+    fn layer_output_is_partition_invariant() {
+        let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
+        let global = Arc::new(build_global_graph(&mesh));
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        let graphs: Vec<Arc<LocalGraph>> =
+            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let hidden = 4;
+
+        // Identical parameters everywhere.
+        let build = || {
+            let mut params = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            let layer = ConsistentMpLayer::new(&mut params, "mp", hidden, 1, &mut rng);
+            (params, layer)
+        };
+
+        // Node/edge features as deterministic functions of gid.
+        let feats = |g: &LocalGraph| {
+            let x = Tensor::from_fn(g.n_local(), hidden, |r, c| {
+                ((g.gids[r] as f64 + 1.3 * c as f64) * 0.21).sin()
+            });
+            let e = Tensor::from_fn(g.n_edges(), hidden, |r, c| {
+                let key = g.gids[g.edge_src[r]] as f64 * 1000.0 + g.gids[g.edge_dst[r]] as f64;
+                ((key + c as f64) * 0.017).cos()
+            });
+            (x, e)
+        };
+
+        // R = 1 reference.
+        let reference = World::run(1, |comm| {
+            let (params, layer) = build();
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let (xv, ev) = feats(&global);
+            let x = tape.leaf(xv);
+            let e = tape.leaf(ev);
+            let idx = GraphIndices::from_graph(&global);
+            let ctx = HaloContext::single(comm.clone());
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &global, &idx, &ctx);
+            tape.value(xn).clone()
+        })
+        .pop()
+        .expect("one result");
+
+        // R = 2 distributed with halo exchange.
+        let graphs2 = graphs.clone();
+        let dist = World::run(2, move |comm| {
+            let g = Arc::clone(&graphs2[comm.rank()]);
+            let (params, layer) = build();
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let (xv, ev) = feats(&g);
+            let x = tape.leaf(xv);
+            let e = tape.leaf(ev);
+            let idx = GraphIndices::from_graph(&g);
+            let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &g, &idx, &ctx);
+            (g.gids.clone(), tape.value(xn).clone())
+        });
+
+        for (gids, xn) in &dist {
+            for (r, &gid) in gids.iter().enumerate() {
+                let gr = global.local_of_gid(gid).expect("gid in global graph");
+                for c in 0..hidden {
+                    let a = xn.get(r, c);
+                    let b = reference.get(gr, c);
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "gid {gid} col {c}: distributed {a} vs global {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ablation of the 1/d_ij edge-degree weights (paper Eq. 4b): with halo
+    /// exchanges ON but the degree scaling dropped, duplicated boundary
+    /// edges are double-counted and consistency breaks — showing that the
+    /// weights and the exchange are *both* required.
+    #[test]
+    fn dropping_degree_weights_breaks_consistency() {
+        let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
+        let global = Arc::new(build_global_graph(&mesh));
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        let graphs: Vec<Arc<LocalGraph>> =
+            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let hidden = 4;
+        let build = || {
+            let mut params = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            let layer = ConsistentMpLayer::new(&mut params, "mp", hidden, 1, &mut rng);
+            (params, layer)
+        };
+        let feats = |g: &LocalGraph| {
+            Tensor::from_fn(g.n_local(), hidden, |r, c| {
+                ((g.gids[r] as f64 + 1.3 * c as f64) * 0.21).sin()
+            })
+        };
+
+        let reference = World::run(1, |comm| {
+            let (params, layer) = build();
+            let idx = GraphIndices::from_graph(&global);
+            let ctx = HaloContext::single(comm.clone());
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let x = tape.leaf(feats(&global));
+            let e = tape.leaf(Tensor::zeros(global.n_edges(), hidden));
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &global, &idx, &ctx);
+            tape.value(xn).clone()
+        })
+        .into_iter()
+        .next()
+        .expect("one result");
+
+        let graphs2 = graphs.clone();
+        let dist = World::run(2, move |comm| {
+            let g = Arc::clone(&graphs2[comm.rank()]);
+            let (params, layer) = build();
+            let mut idx = GraphIndices::from_graph(&g);
+            // The ablation: pretend every edge is owned once.
+            idx.edge_inv_degree = Arc::new(vec![1.0; g.n_edges()]);
+            let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let x = tape.leaf(feats(&g));
+            let e = tape.leaf(Tensor::zeros(g.n_edges(), hidden));
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &g, &idx, &ctx);
+            (g.gids.clone(), tape.value(xn).clone())
+        });
+
+        let mut max_dev = 0.0f64;
+        for (gids, xn) in &dist {
+            for (r, &gid) in gids.iter().enumerate() {
+                let gr = global.local_of_gid(gid).expect("gid in global");
+                for c in 0..hidden {
+                    max_dev = max_dev.max((xn.get(r, c) - reference.get(gr, c)).abs());
+                }
+            }
+        }
+        assert!(
+            max_dev > 1e-3,
+            "halo exchange alone (without 1/d_ij) should not be consistent; dev {max_dev}"
+        );
+    }
+
+    /// Without halo exchange (mode None), boundary nodes must deviate from
+    /// the R=1 reference — the inconsistency the paper's Fig. 6 shows.
+    #[test]
+    fn standard_layer_deviates_at_boundaries() {
+        let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
+        let global = Arc::new(build_global_graph(&mesh));
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        let graphs: Vec<Arc<LocalGraph>> =
+            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let hidden = 4;
+        let build = || {
+            let mut params = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            let layer = ConsistentMpLayer::new(&mut params, "mp", hidden, 1, &mut rng);
+            (params, layer)
+        };
+        let feats = |g: &LocalGraph| {
+            Tensor::from_fn(g.n_local(), hidden, |r, c| {
+                ((g.gids[r] as f64 + 1.3 * c as f64) * 0.21).sin()
+            })
+        };
+
+        let reference = World::run(1, |comm| {
+            let (params, layer) = build();
+            let idx = GraphIndices::from_graph(&global);
+            let ctx = HaloContext::single(comm.clone());
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let x = tape.leaf(feats(&global));
+            let e = tape.leaf(Tensor::zeros(global.n_edges(), hidden));
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &global, &idx, &ctx);
+            tape.value(xn).clone()
+        })
+        .into_iter()
+        .next()
+        .expect("one result");
+
+        let graphs2 = graphs.clone();
+        let dist = World::run(2, move |comm| {
+            let g = Arc::clone(&graphs2[comm.rank()]);
+            let (params, layer) = build();
+            let mut tape = Tape::new();
+            let bound = params.bind(&mut tape);
+            let x = tape.leaf(feats(&g));
+            let e = tape.leaf(Tensor::zeros(g.n_edges(), hidden));
+            let idx = GraphIndices::from_graph(&g);
+            let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::None);
+            let (xn, _) = layer.forward(&mut tape, &bound, x, e, &g, &idx, &ctx);
+            (g.gids.clone(), tape.value(xn).clone())
+        });
+
+        let mut max_boundary_dev = 0.0f64;
+        let mut max_interior_dev = 0.0f64;
+        for (gids, xn) in &dist {
+            for (r, &gid) in gids.iter().enumerate() {
+                let gr = global.local_of_gid(gid).expect("gid in global");
+                let shared = graphs.iter().filter(|g| g.local_of_gid(gid).is_some()).count() > 1;
+                for c in 0..hidden {
+                    let dev = (xn.get(r, c) - reference.get(gr, c)).abs();
+                    if shared {
+                        max_boundary_dev = max_boundary_dev.max(dev);
+                    } else {
+                        max_interior_dev = max_interior_dev.max(dev);
+                    }
+                }
+            }
+        }
+        assert!(max_boundary_dev > 1e-3, "boundary deviation {max_boundary_dev} suspiciously small");
+        // One layer of message passing only corrupts nodes within one hop of
+        // the cut; most interior nodes remain exact.
+        assert!(max_interior_dev < max_boundary_dev);
+    }
+}

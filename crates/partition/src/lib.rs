@@ -1,0 +1,14 @@
+//! # cgnn-partition
+//!
+//! Element-based domain decomposition — the stand-in for the NekRS mesh
+//! partitioner the paper links its distributed graphs to. Structured slab /
+//! pencil / block layouts cover the paper's "vertical rectangular chunks to
+//! sub-cubes" regimes (Table II), and recursive coordinate bisection handles
+//! arbitrary rank counts.
+
+pub mod layout;
+pub mod partition;
+pub mod rcb;
+
+pub use layout::Layout;
+pub use partition::{Partition, Strategy};

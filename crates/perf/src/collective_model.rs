@@ -1,0 +1,137 @@
+//! Alpha-beta cost models for the collectives the consistent GNN issues:
+//! ring all-reduce (loss + DDP gradients), dense all-to-all (A2A halo
+//! exchange), and neighbour all-to-all (N-A2A halo exchange).
+
+use cgnn_graph::RankProfile;
+
+use crate::machine::MachineModel;
+
+/// Ring all-reduce of `bytes` across `ranks` ranks. Hierarchical model:
+/// the inter-node ring over the job's nodes is the bottleneck once the job
+/// spans multiple nodes.
+pub fn all_reduce_time(machine: &MachineModel, ranks: usize, bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n_nodes = machine.nodes_for(ranks);
+    if n_nodes <= 1 {
+        // Intra-node ring over GPU links.
+        let steps = 2 * (ranks - 1);
+        steps as f64 * machine.intra_latency
+            + 2.0 * (ranks - 1) as f64 / ranks as f64 * bytes / machine.intra_bw
+    } else {
+        // Hierarchical reduce-scatter + all-gather: ring bandwidth term
+        // across node NICs, but tree-depth latency (RCCL's tree/collnet
+        // algorithms give O(log N) latency, not the ring's O(N)).
+        let depth = (n_nodes as f64).log2().ceil();
+        let intra = 2.0 * bytes / machine.intra_bw
+            + 2.0 * (machine.ranks_per_node - 1) as f64 * machine.intra_latency;
+        let inter = 2.0 * depth * machine.inter_latency
+            + 2.0 * (n_nodes - 1) as f64 / n_nodes as f64 * bytes
+                / (machine.node_nic_bw / machine.contention.mul_add(
+                    (n_nodes as f64).log2(),
+                    1.0,
+                ));
+        intra + inter
+    }
+}
+
+/// Dense all-to-all with uniform buffers of `buf_bytes` from every rank to
+/// every other rank (the paper's naive A2A halo exchange). Every rank sends
+/// `ranks - 1` messages; traffic to off-node peers shares the NIC.
+pub fn dense_all_to_all_time(machine: &MachineModel, ranks: usize, buf_bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n_nodes = machine.nodes_for(ranks);
+    let on_node_peers = (machine.ranks_per_node.min(ranks) - 1) as f64;
+    let off_node_peers = (ranks - 1) as f64 - on_node_peers;
+    let intra_time = on_node_peers * (machine.msg_overhead + buf_bytes / machine.intra_bw);
+    let inter_time = off_node_peers
+        * (machine.msg_overhead + buf_bytes / machine.effective_inter_bw(n_nodes))
+        + if off_node_peers > 0.0 { machine.inter_latency } else { 0.0 };
+    intra_time + inter_time + machine.intra_latency
+}
+
+/// Neighbour all-to-all: only real neighbour buffers are exchanged (the
+/// empty-tensor trick). Per-rank time is the serialized cost of its own
+/// messages — neighbour counts are bounded (<= 26), so this stays flat in R.
+pub fn neighbor_all_to_all_time(
+    machine: &MachineModel,
+    rank: usize,
+    ranks: usize,
+    profile: &RankProfile,
+    bytes_per_shared_node: f64,
+) -> f64 {
+    if ranks <= 1 || profile.shared_per_neighbor.is_empty() {
+        return 0.0;
+    }
+    let n_nodes = machine.nodes_for(ranks);
+    let mut t = machine.intra_latency; // collective entry overhead
+    for &(nbr, shared) in &profile.shared_per_neighbor {
+        let bytes = shared as f64 * bytes_per_shared_node;
+        t += machine.msg_overhead;
+        t += if machine.same_node(rank, nbr) {
+            bytes / machine.intra_bw
+        } else {
+            bytes / machine.effective_inter_bw(n_nodes)
+        };
+        if !machine.same_node(rank, nbr) {
+            t += machine.inter_latency / profile.shared_per_neighbor.len() as f64;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnn_graph::{RankGraphStats, RankProfile};
+
+    fn profile(neighbors: &[(usize, usize)]) -> RankProfile {
+        RankProfile {
+            stats: RankGraphStats {
+                local_nodes: 0,
+                halo_nodes: neighbors.iter().map(|&(_, s)| s).sum(),
+                neighbors: neighbors.len(),
+                directed_edges: 0,
+            },
+            shared_per_neighbor: neighbors.to_vec(),
+        }
+    }
+
+    #[test]
+    fn dense_a2a_grows_linearly_with_ranks() {
+        let m = MachineModel::frontier();
+        let t64 = dense_all_to_all_time(&m, 64, 64.0 * 1024.0);
+        let t1024 = dense_all_to_all_time(&m, 1024, 64.0 * 1024.0);
+        assert!(t1024 > 10.0 * t64, "t64={t64} t1024={t1024}");
+    }
+
+    #[test]
+    fn neighbor_a2a_is_flat_in_rank_count() {
+        let m = MachineModel::frontier();
+        let p = profile(&[(100, 3600), (200, 3600), (300, 60), (400, 1)]);
+        let t64 = neighbor_all_to_all_time(&m, 0, 64, &p, 256.0);
+        let t2048 = neighbor_all_to_all_time(&m, 0, 2048, &p, 256.0);
+        assert!(t2048 < 2.0 * t64, "t64={t64} t2048={t2048}");
+    }
+
+    #[test]
+    fn neighbor_a2a_beats_dense_a2a_at_scale() {
+        let m = MachineModel::frontier();
+        let p = profile(&[(9, 3600); 11]);
+        let bytes_per_node = 32.0 * 8.0;
+        let dense = dense_all_to_all_time(&m, 2048, 3600.0 * bytes_per_node);
+        let nbr = neighbor_all_to_all_time(&m, 0, 2048, &p, bytes_per_node);
+        assert!(nbr < dense / 10.0, "dense={dense} nbr={nbr}");
+    }
+
+    #[test]
+    fn all_reduce_time_increases_with_bytes_and_ranks() {
+        let m = MachineModel::frontier();
+        assert!(all_reduce_time(&m, 8, 1e6) < all_reduce_time(&m, 8, 1e8));
+        assert!(all_reduce_time(&m, 8, 1e6) < all_reduce_time(&m, 2048, 1e6));
+        assert_eq!(all_reduce_time(&m, 1, 1e6), 0.0);
+    }
+}

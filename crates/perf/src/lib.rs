@@ -1,0 +1,32 @@
+//! # cgnn-perf
+//!
+//! The Frontier-scale performance model: since 2048 MI250X GCDs are not
+//! available to this reproduction, the weak-scaling results of the paper
+//! (Figs. 7-8) are regenerated from
+//!
+//! 1. **exact per-rank graph profiles** (closed-form, validated against the
+//!    real builder — `cgnn-graph::stats`),
+//! 2. an **alpha-beta machine model** of Frontier's published parameters
+//!    ([`machine`], [`collective_model`]),
+//! 3. **analytic GNN kernel costs** tied to the real model implementation
+//!    ([`gnn_cost`]), and
+//! 4. **host calibration** against real measured iterations of this
+//!    repository's GNN ([`calibrate`]).
+//!
+//! The claims this reproduces are *shape* claims: who wins, by what factor,
+//! and where the curves break — see EXPERIMENTS.md for the comparison.
+
+pub mod calibrate;
+pub mod collective_model;
+pub mod gnn_cost;
+pub mod machine;
+pub mod weak_scaling;
+
+pub use calibrate::{measure_single_rank, Calibration};
+pub use collective_model::{all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time};
+pub use gnn_cost::{compute_time, iteration_work, param_count, RankWork};
+pub use machine::MachineModel;
+pub use weak_scaling::{
+    cubic_layout, paper_sweep, relative_throughput, weak_scaling_series, Loading, ScalingPoint,
+    ScalingSeries,
+};

@@ -1,0 +1,21 @@
+//! # cgnn-sem
+//!
+//! A miniature spectral-element method (SEM) solver standing in for NekRS:
+//! tensor-product GLL operators on hexahedral elements ([`operators`]),
+//! direct-stiffness gather-scatter over coincident nodes
+//! ([`gather_scatter`] — the solver-side twin of the paper's consistent NMP
+//! synchronization), an explicit RK4 diffusion stepper validated against
+//! analytic decay rates ([`stepper`]), and snapshot-pair generation feeding
+//! the GNN training loop ([`datagen`]).
+
+pub mod advection;
+pub mod datagen;
+pub mod gather_scatter;
+pub mod operators;
+pub mod stepper;
+
+pub use advection::AdvectionDiffusionSolver;
+pub use datagen::SnapshotPair;
+pub use gather_scatter::{distributed_dssum, GatherScatter};
+pub use operators::ElementOps;
+pub use stepper::DiffusionSolver;

@@ -1,0 +1,138 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used by this crate's own op tests and re-used by `cgnn-core` to verify
+//! that distributed gradients (Eq. 3 of the paper) match both the R=1 tape
+//! and central finite differences.
+
+use crate::nn::ParamSet;
+
+/// Central-difference gradient of `f` with respect to every scalar in
+/// `params`, returned flattened in registration order.
+pub fn finite_difference_grad(
+    params: &mut ParamSet,
+    eps: f64,
+    mut f: impl FnMut(&ParamSet) -> f64,
+) -> Vec<f64> {
+    let flat = params.flatten();
+    let mut grad = vec![0.0; flat.len()];
+    for i in 0..flat.len() {
+        let mut plus = flat.clone();
+        plus[i] += eps;
+        params.unflatten(&plus);
+        let fp = f(params);
+
+        let mut minus = flat.clone();
+        minus[i] -= eps;
+        params.unflatten(&minus);
+        let fm = f(params);
+
+        grad[i] = (fp - fm) / (2.0 * eps);
+    }
+    params.unflatten(&flat);
+    grad
+}
+
+/// Maximum relative error between two flat gradient vectors, flooring the
+/// denominator to avoid blow-ups on tiny entries.
+pub fn max_rel_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "gradient length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-6))
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Mlp, ParamSet};
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// End-to-end gradient check of an MLP with ELU + LayerNorm against
+    /// central finite differences.
+    #[test]
+    fn mlp_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = ParamSet::new();
+        let mlp = Mlp::new(&mut params, "m", 3, 6, 2, 1, true, &mut rng);
+        let x = Tensor::from_fn(4, 3, |r, c| ((r * 3 + c) as f64 * 0.37).sin());
+
+        let eval = |p: &ParamSet| {
+            let mut tape = Tape::new();
+            let bound = p.bind(&mut tape);
+            let xv = tape.leaf(x.clone());
+            let y = mlp.forward(&mut tape, &bound, xv);
+            let sq = tape.mul(y, y);
+            let s = tape.sum(sq);
+            tape.value(s).item()
+        };
+
+        // Autodiff gradient.
+        let mut tape = Tape::new();
+        let bound = params.bind(&mut tape);
+        let xv = tape.leaf(x.clone());
+        let y = mlp.forward(&mut tape, &bound, xv);
+        let sq = tape.mul(y, y);
+        let s = tape.sum(sq);
+        let grads = tape.backward(s);
+        let mut auto_flat = Vec::new();
+        for (i, _) in params.tensors().iter().enumerate() {
+            let g = grads
+                .get(bound.var(crate::nn::ParamId(i)))
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(1, 1));
+            auto_flat.extend_from_slice(g.data());
+        }
+
+        let fd = finite_difference_grad(&mut params, 1e-5, eval);
+        assert_eq!(auto_flat.len(), fd.len());
+        // Central differences carry O(eps^2) truncation error plus
+        // cancellation noise through LayerNorm; 5e-4 relative is the
+        // expected accuracy floor here.
+        let err = max_rel_error(&auto_flat, &fd);
+        assert!(err < 5e-4, "max relative error {err}");
+    }
+
+    /// Gradient check through gather -> row_scale -> scatter, the skeleton
+    /// of the paper's consistent edge aggregation (Eq. 4b).
+    #[test]
+    fn aggregation_pipeline_gradients() {
+        let mut params = ParamSet::new();
+        let x0 = Tensor::from_fn(3, 2, |r, c| 0.3 * (r as f64) - 0.2 * (c as f64) + 0.1);
+        params.register("x", x0);
+        let idx_src = Arc::new(vec![0usize, 1, 2, 0]);
+        let idx_dst = Arc::new(vec![1usize, 1, 0, 2]);
+        let w = Arc::new(vec![1.0, 0.5, 0.5, 1.0]);
+
+        let eval = |p: &ParamSet| {
+            let mut tape = Tape::new();
+            let bound = p.bind(&mut tape);
+            let x = bound.var(crate::nn::ParamId(0));
+            let g = tape.gather_rows(x, idx_src.clone());
+            let gs = tape.row_scale(g, w.clone());
+            let a = tape.scatter_add_rows(gs, idx_dst.clone(), 3);
+            let sq = tape.mul(a, a);
+            let s = tape.sum(sq);
+            tape.value(s).item()
+        };
+
+        let mut tape = Tape::new();
+        let bound = params.bind(&mut tape);
+        let x = bound.var(crate::nn::ParamId(0));
+        let g = tape.gather_rows(x, idx_src.clone());
+        let gs = tape.row_scale(g, w.clone());
+        let a = tape.scatter_add_rows(gs, idx_dst.clone(), 3);
+        let sq = tape.mul(a, a);
+        let s = tape.sum(sq);
+        let grads = tape.backward(s);
+        let auto: Vec<f64> = grads.get(x).unwrap().data().to_vec();
+
+        let fd = finite_difference_grad(&mut params, 1e-6, eval);
+        let err = max_rel_error(&auto, &fd);
+        assert!(err < 1e-6, "max relative error {err}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Neural-network building blocks: parameter store, linear layers, and the
+//! residual MLP used throughout the paper's GNN (ELU activations + layer
+//! normalization, per Sec. III of the paper).
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::tape::{Tape, VarId};
+use crate::tensor::Tensor;
+
+/// Index of a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+/// Owns all trainable tensors of a model.
+///
+/// Modules hold [`ParamId`]s; before each forward pass the set is bound to a
+/// fresh tape with [`ParamSet::bind`], which registers every parameter as a
+/// leaf and returns the `VarId` mapping.
+#[derive(Default)]
+pub struct ParamSet {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter tensor under a diagnostic name.
+    pub fn register(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar parameters (the "trainable parameters" count
+    /// of the paper's Table I).
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(|t| t.len()).sum()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    pub fn tensors_mut(&mut self) -> &mut [Tensor] {
+        &mut self.tensors
+    }
+
+    /// Register every parameter on `tape` as a leaf; returns the binding.
+    pub fn bind(&self, tape: &mut Tape) -> BoundParams {
+        let ids = self.tensors.iter().map(|t| tape.leaf(t.clone())).collect();
+        BoundParams { ids }
+    }
+
+    /// Flatten all parameters into a single vector (for checksums/tests).
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for t in &self.tensors {
+            out.extend_from_slice(t.data());
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector (inverse of `flatten`).
+    pub fn unflatten(&mut self, flat: &[f64]) {
+        let mut off = 0;
+        for t in &mut self.tensors {
+            let n = t.len();
+            t.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+        assert_eq!(off, flat.len(), "unflatten length mismatch");
+    }
+}
+
+/// Per-pass mapping from [`ParamId`] to tape [`VarId`].
+pub struct BoundParams {
+    ids: Vec<VarId>,
+}
+
+impl BoundParams {
+    pub fn var(&self, id: ParamId) -> VarId {
+        self.ids[id.0]
+    }
+
+    pub fn vars(&self) -> &[VarId] {
+        &self.ids
+    }
+}
+
+/// Fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = params.register(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = params.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
+        let wx = tape.matmul(x, bound.var(self.w));
+        tape.add_row(wx, bound.var(self.b))
+    }
+
+    pub fn num_scalars(&self) -> usize {
+        self.in_dim * self.out_dim + self.out_dim
+    }
+}
+
+/// Activation function selector for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// ELU with alpha = 1 (the paper's choice).
+    #[default]
+    Elu,
+    Tanh,
+}
+
+/// Multi-layer perceptron: `in -> h -> ... -> h -> out` with an activation
+/// after every linear except the last, optional layer normalization on the
+/// output, and an optional residual connection (applied by the caller when
+/// `in_dim == out_dim`, matching the paper's "MLPs leverage residual
+/// connections with layer normalization and ELU activation functions").
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    layer_norm: Option<(ParamId, ParamId)>,
+    activation: Activation,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Mlp {
+    /// `n_hidden` is the number of `h -> h` interior linears, so the MLP has
+    /// `n_hidden + 2` linear layers in total.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        n_hidden: usize,
+        layer_norm: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(n_hidden + 2);
+        layers.push(Linear::new(params, &format!("{name}.lin0"), in_dim, hidden, rng));
+        for i in 0..n_hidden {
+            layers.push(Linear::new(params, &format!("{name}.lin{}", i + 1), hidden, hidden, rng));
+        }
+        layers.push(Linear::new(
+            params,
+            &format!("{name}.lin{}", n_hidden + 1),
+            hidden,
+            out_dim,
+            rng,
+        ));
+        let ln = layer_norm.then(|| {
+            let gamma = params.register(format!("{name}.ln.gamma"), Tensor::full(1, out_dim, 1.0));
+            let beta = params.register(format!("{name}.ln.beta"), Tensor::zeros(1, out_dim));
+            (gamma, beta)
+        });
+        Mlp { layers, layer_norm: ln, activation: Activation::Elu, in_dim, out_dim }
+    }
+
+    pub fn with_activation(mut self, act: Activation) -> Self {
+        self.activation = act;
+        self
+    }
+
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, bound, h);
+            if i != last {
+                h = match self.activation {
+                    Activation::Elu => tape.elu(h),
+                    Activation::Tanh => tape.tanh(h),
+                };
+            }
+        }
+        if let Some((gamma, beta)) = self.layer_norm {
+            h = tape.layer_norm(h, bound.var(gamma), bound.var(beta), 1e-5);
+        }
+        h
+    }
+
+    pub fn num_scalars(&self) -> usize {
+        let lin: usize = self.layers.iter().map(Linear::num_scalars).sum();
+        lin + if self.layer_norm.is_some() { 2 * self.out_dim } else { 0 }
+    }
+}
+
+/// Convenience: build a constant row-index vector shared across passes.
+pub fn shared_indices(idx: Vec<usize>) -> Arc<Vec<usize>> {
+    Arc::new(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_param_count() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut params, "l", 3, 8, &mut rng);
+        assert_eq!(lin.num_scalars(), 3 * 8 + 8);
+        assert_eq!(params.num_scalars(), 32);
+    }
+
+    #[test]
+    fn mlp_param_count_matches_registration() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut params, "m", 7, 8, 8, 2, true, &mut rng);
+        // 8*(7+1) + 2*(8*9) + 8*9 + 2*8 = 64 + 144 + 72 + 16
+        assert_eq!(mlp.num_scalars(), 8 * 7 + 8 + 2 * (8 * 8 + 8) + (8 * 8 + 8) + 16);
+        assert_eq!(params.num_scalars(), mlp.num_scalars());
+    }
+
+    #[test]
+    fn mlp_forward_shapes() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut params, "m", 4, 16, 2, 1, true, &mut rng);
+        let mut tape = Tape::new();
+        let bound = params.bind(&mut tape);
+        let x = tape.leaf(Tensor::from_fn(5, 4, |r, c| (r + c) as f64 * 0.1));
+        let y = mlp.forward(&mut tape, &bound, x);
+        assert_eq!(tape.value(y).shape(), (5, 2));
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Mlp::new(&mut params, "m", 3, 4, 3, 0, false, &mut rng);
+        let flat = params.flatten();
+        let mut params2 = ParamSet::new();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let _ = Mlp::new(&mut params2, "m", 3, 4, 3, 0, false, &mut rng2);
+        params2.unflatten(&flat);
+        assert_eq!(params2.flatten(), flat);
+    }
+}

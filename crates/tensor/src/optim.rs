@@ -1,0 +1,135 @@
+//! First-order optimizers operating on a [`ParamSet`].
+//!
+//! Because the consistent formulation makes gradients identical on every
+//! rank (paper Eq. 3), running the same deterministic optimizer step on each
+//! rank keeps parameters bit-identical without a broadcast.
+
+use crate::nn::ParamSet;
+use crate::tensor::Tensor;
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    pub lr: f64,
+    pub momentum: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Apply one update; `grads[i]` must match `params.tensors()[i]`.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[Tensor]) {
+        assert_eq!(grads.len(), params.len(), "sgd grad count mismatch");
+        if self.velocity.is_empty() && self.momentum != 0.0 {
+            self.velocity = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+        }
+        for (i, t) in params.tensors_mut().iter_mut().enumerate() {
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_inplace(self.momentum);
+                v.add_assign(&grads[i]);
+                t.axpy(-self.lr, v);
+            } else {
+                t.axpy(-self.lr, &grads[i]);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer used for the
+/// paper's training consistency demonstration (Fig. 6 right).
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[Tensor]) {
+        assert_eq!(grads.len(), params.len(), "adam grad count mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+            self.v = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, t) in params.tensors_mut().iter_mut().enumerate() {
+            let g = &grads[i];
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mj, vj), (&gj, tj)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data().iter().zip(t.data_mut().iter_mut()))
+            {
+                *mj = self.beta1 * *mj + (1.0 - self.beta1) * gj;
+                *vj = self.beta2 * *vj + (1.0 - self.beta2) * gj * gj;
+                let mhat = *mj / bc1;
+                let vhat = *vj / bc2;
+                *tj -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::ParamSet;
+
+    fn quadratic_grads(params: &ParamSet) -> Vec<Tensor> {
+        // f = 0.5 * |theta|^2 -> grad = theta
+        params.tensors().iter().cloned().collect()
+    }
+
+    #[test]
+    fn sgd_decays_quadratic() {
+        let mut params = ParamSet::new();
+        params.register("x", Tensor::from_vec(1, 2, vec![1.0, -2.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            let g = quadratic_grads(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.tensors()[0].max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_decays_quadratic() {
+        let mut params = ParamSet::new();
+        params.register("x", Tensor::from_vec(1, 2, vec![3.0, -1.5]));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let g = quadratic_grads(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.tensors()[0].max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_is_deterministic() {
+        let run = || {
+            let mut params = ParamSet::new();
+            params.register("x", Tensor::from_vec(1, 3, vec![0.5, 0.25, -0.75]));
+            let mut opt = Adam::new(0.01);
+            for _ in 0..10 {
+                let g = quadratic_grads(&params);
+                opt.step(&mut params, &g);
+            }
+            params.flatten()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,188 @@
+//! Parameter checkpointing: a small self-describing binary format for
+//! [`ParamSet`]s so trained models can be saved and restored. Since all
+//! ranks hold bit-identical replicas, rank 0 saving once is a complete
+//! checkpoint of a distributed run.
+//!
+//! Format: magic `CGNN`, version u32, tensor count u32, then per tensor:
+//! name length + UTF-8 name, rows u64, cols u64, little-endian f64 data.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::nn::ParamSet;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"CGNN";
+const VERSION: u32 = 1;
+
+/// Serialize a parameter set to a writer.
+pub fn write_params<W: Write>(params: &ParamSet, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for i in 0..params.len() {
+        let id = crate::nn::ParamId(i);
+        let name = params.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let t = params.get(id);
+        w.write_all(&(t.rows() as u64).to_le_bytes())?;
+        w.write_all(&(t.cols() as u64).to_le_bytes())?;
+        for v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a parameter set from a reader.
+pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a cgnn checkpoint"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut params = ParamSet::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut buf = [0u8; 8];
+        for _ in 0..rows * cols {
+            r.read_exact(&mut buf)?;
+            data.push(f64::from_le_bytes(buf));
+        }
+        params.register(name, Tensor::from_vec(rows, cols, data));
+    }
+    Ok(params)
+}
+
+/// Save to a file path.
+pub fn save_params(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_params(params, io::BufWriter::new(file))
+}
+
+/// Load from a file path. The caller is responsible for checking that the
+/// architecture matches (e.g. via [`restore_into`]).
+pub fn load_params(path: impl AsRef<Path>) -> io::Result<ParamSet> {
+    let file = std::fs::File::open(path)?;
+    read_params(io::BufReader::new(file))
+}
+
+/// Restore checkpointed values into an existing (architecture-defining)
+/// parameter set, verifying names and shapes match exactly.
+pub fn restore_into(target: &mut ParamSet, source: &ParamSet) -> io::Result<()> {
+    if target.len() != source.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter count mismatch: {} vs {}", target.len(), source.len()),
+        ));
+    }
+    for i in 0..target.len() {
+        let id = crate::nn::ParamId(i);
+        if target.name(id) != source.name(id) || target.get(id).shape() != source.get(id).shape()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "parameter {i} mismatch: {}:{:?} vs {}:{:?}",
+                    target.name(id),
+                    target.get(id).shape(),
+                    source.name(id),
+                    source.get(id).shape()
+                ),
+            ));
+        }
+    }
+    let flat = source.flatten();
+    target.unflatten(&flat);
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_params(seed: u64) -> ParamSet {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = Mlp::new(&mut params, "m", 3, 8, 2, 1, true, &mut rng);
+        params
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let params = sample_params(1);
+        let mut buf = Vec::new();
+        write_params(&params, &mut buf).expect("write");
+        let restored = read_params(buf.as_slice()).expect("read");
+        assert_eq!(restored.len(), params.len());
+        assert_eq!(restored.flatten(), params.flatten());
+        for i in 0..params.len() {
+            let id = crate::nn::ParamId(i);
+            assert_eq!(restored.name(id), params.name(id));
+            assert_eq!(restored.get(id).shape(), params.get(id).shape());
+        }
+    }
+
+    #[test]
+    fn restore_into_checks_architecture() {
+        let a = sample_params(1);
+        let mut b = sample_params(2);
+        assert_ne!(a.flatten(), b.flatten());
+        restore_into(&mut b, &a).expect("compatible restore");
+        assert_eq!(a.flatten(), b.flatten());
+
+        // Mismatched architecture is rejected.
+        let mut small = ParamSet::new();
+        small.register("x", Tensor::zeros(1, 1));
+        assert!(restore_into(&mut small, &a).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_params(&b"NOPE"[..]).is_err());
+        assert!(read_params(&b"CG"[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let params = sample_params(7);
+        let dir = std::env::temp_dir().join(format!("cgnn_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.cgnn");
+        save_params(&params, &path).expect("save");
+        let loaded = load_params(&path).expect("load");
+        assert_eq!(loaded.flatten(), params.flatten());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,541 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! Each rank (thread) owns one [`Tape`] per forward pass. Operations append
+//! [`Node`]s recording the op kind and parent variables; [`Tape::backward`]
+//! walks the nodes in reverse, propagating adjoints. Distributed operations
+//! (halo swaps, all-reduces) are [`CustomOp`]s whose backward closures carry
+//! a communicator handle — this is the Rust analogue of the differentiable
+//! `torch.distributed.nn` routines the paper relies on for Eq. (3).
+
+use std::sync::Arc;
+
+use crate::tensor::Tensor;
+
+/// Handle to a variable on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// A user-defined differentiable operation.
+///
+/// `backward` receives the adjoint of the op output plus the recorded input
+/// values, and returns one adjoint per input (or `None` for inputs that do
+/// not need gradients). Implementations may perform communication; all ranks
+/// replay their tapes in the same order, so collective calls match up.
+pub trait CustomOp: Send {
+    /// Human-readable op name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Compute input adjoints given the output adjoint.
+    fn backward(&self, grad_out: &Tensor, inputs: &[&Tensor]) -> Vec<Option<Tensor>>;
+}
+
+pub(crate) enum Op {
+    /// Input / parameter: no parents.
+    Leaf,
+    /// `C = A * B`
+    Matmul(VarId, VarId),
+    /// `C = A + B` (same shape)
+    Add(VarId, VarId),
+    /// `C = A - B` (same shape)
+    Sub(VarId, VarId),
+    /// `C = A ⊙ B` (Hadamard)
+    Mul(VarId, VarId),
+    /// `C[i, :] = A[i, :] + bias[0, :]`
+    AddRow(VarId, VarId),
+    /// `C = alpha * A`
+    Scale(VarId, f64),
+    /// Column-wise concatenation; stores parent column widths.
+    ConcatCols(Vec<(VarId, usize)>),
+    /// `C[i] = A[idx[i]]`
+    GatherRows(VarId, Arc<Vec<usize>>, usize),
+    /// `C[idx[i]] += A[i]`, C has `out_rows` rows.
+    ScatterAddRows(VarId, Arc<Vec<usize>>),
+    /// `C[i, :] = w[i] * A[i, :]` with constant weights.
+    RowScale(VarId, Arc<Vec<f64>>),
+    /// ELU activation (alpha = 1).
+    Elu(VarId),
+    /// tanh activation.
+    Tanh(VarId),
+    /// Row-wise layer normalization with learned gain/bias.
+    LayerNorm { x: VarId, gamma: VarId, beta: VarId, eps: f64 },
+    /// `c = sum_i w[i] * sum_j A[i,j]^2` (scalar); weights constant.
+    WeightedSqSum(VarId, Arc<Vec<f64>>),
+    /// `c = sum_ij A[i,j]` (scalar).
+    Sum(VarId),
+    /// User-defined op (e.g. halo exchange, all-reduce).
+    Custom { inputs: Vec<VarId>, op: Box<dyn CustomOp> },
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+}
+
+/// Reverse-mode autodiff tape.
+///
+/// ```
+/// use cgnn_tensor::{Tape, Tensor};
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(1, 2, vec![3.0, -1.0]));
+/// let y = tape.mul(x, x); // elementwise square
+/// let s = tape.sum(y);
+/// let grads = tape.backward(s);
+/// assert_eq!(grads.get(x).unwrap().data(), &[6.0, -2.0]);
+/// ```
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`VarId`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. variable `id`, if it participated.
+    pub fn get(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Remove and return the gradient for `id`.
+    pub fn take(&mut self, id: VarId) -> Option<Tensor> {
+        self.grads.get_mut(id.0).and_then(|g| g.take())
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a recorded variable.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> VarId {
+        self.nodes.push(Node { value, op });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Record an input or parameter tensor.
+    pub fn leaf(&mut self, t: Tensor) -> VarId {
+        self.push(t, Op::Leaf)
+    }
+
+    /// `a * b` (matrix product).
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a + b` elementwise.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut v = self.value(a).clone();
+        v.add_assign(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a - b` elementwise.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut v = self.value(a).clone();
+        v.axpy(-1.0, self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// `a ⊙ b` elementwise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let mut v = va.clone();
+        for (x, y) in v.data_mut().iter_mut().zip(vb.data().iter()) {
+            *x *= y;
+        }
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Broadcast-add a `[1, n]` bias row to every row of `a`.
+    pub fn add_row(&mut self, a: VarId, bias: VarId) -> VarId {
+        let (va, vb) = (self.value(a), self.value(bias));
+        assert_eq!(vb.rows(), 1, "bias must be a row vector");
+        assert_eq!(va.cols(), vb.cols(), "bias width mismatch");
+        let mut v = va.clone();
+        let b = vb.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            for (x, y) in row.iter_mut().zip(b.data().iter()) {
+                *x += y;
+            }
+        }
+        self.push(v, Op::AddRow(a, bias))
+    }
+
+    /// `alpha * a`.
+    pub fn scale(&mut self, a: VarId, alpha: f64) -> VarId {
+        let v = self.value(a).scaled(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    /// Concatenate along columns.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        let meta = parts.iter().map(|&p| (p, self.value(p).cols())).collect();
+        self.push(v, Op::ConcatCols(meta))
+    }
+
+    /// `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&mut self, a: VarId, idx: Arc<Vec<usize>>) -> VarId {
+        let src_rows = self.value(a).rows();
+        let v = self.value(a).gather_rows(&idx);
+        self.push(v, Op::GatherRows(a, idx, src_rows))
+    }
+
+    /// `out[idx[i]] += a[i]` with `out_rows` output rows.
+    pub fn scatter_add_rows(&mut self, a: VarId, idx: Arc<Vec<usize>>, out_rows: usize) -> VarId {
+        let v = self.value(a).scatter_add_rows(&idx, out_rows);
+        self.push(v, Op::ScatterAddRows(a, idx))
+    }
+
+    /// Scale row `i` by the constant `weights[i]` (no gradient w.r.t.
+    /// weights — these are the geometric 1/d consistency factors).
+    pub fn row_scale(&mut self, a: VarId, weights: Arc<Vec<f64>>) -> VarId {
+        let v = self.value(a).row_scale(&weights);
+        self.push(v, Op::RowScale(a, weights))
+    }
+
+    /// ELU activation with alpha = 1.
+    pub fn elu(&mut self, a: VarId) -> VarId {
+        let mut v = self.value(a).clone();
+        for x in v.data_mut() {
+            if *x < 0.0 {
+                *x = x.exp() - 1.0;
+            }
+        }
+        self.push(v, Op::Elu(a))
+    }
+
+    /// tanh activation.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let mut v = self.value(a).clone();
+        for x in v.data_mut() {
+            *x = x.tanh();
+        }
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Row-wise layer normalization with learned `gamma`/`beta` (`[1, F]`).
+    pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f64) -> VarId {
+        let vx = self.value(x);
+        let (rows, cols) = vx.shape();
+        let g = self.value(gamma).clone();
+        let b = self.value(beta).clone();
+        assert_eq!(g.shape(), (1, cols), "layer_norm gamma shape");
+        assert_eq!(b.shape(), (1, cols), "layer_norm beta shape");
+        let mut v = Tensor::zeros(rows, cols);
+        let n = cols as f64;
+        for r in 0..rows {
+            let xr = vx.row(r);
+            let mean = xr.iter().sum::<f64>() / n;
+            let var = xr.iter().map(|&u| (u - mean) * (u - mean)).sum::<f64>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            let out = v.row_mut(r);
+            for c in 0..cols {
+                out[c] = g.data()[c] * (xr[c] - mean) * inv + b.data()[c];
+            }
+        }
+        self.push(v, Op::LayerNorm { x, gamma, beta, eps })
+    }
+
+    /// Scalar `sum_i w[i] * sum_j a[i,j]^2` with constant row weights — the
+    /// building block of the paper's consistent MSE (Eq. 6b).
+    pub fn weighted_sq_sum(&mut self, a: VarId, weights: Arc<Vec<f64>>) -> VarId {
+        let va = self.value(a);
+        assert_eq!(weights.len(), va.rows(), "weighted_sq_sum weight length");
+        let mut acc = 0.0;
+        for (r, &w) in weights.iter().enumerate() {
+            let row = va.row(r);
+            acc += w * row.iter().map(|&u| u * u).sum::<f64>();
+        }
+        self.push(Tensor::scalar(acc), Op::WeightedSqSum(a, weights))
+    }
+
+    /// Scalar sum over all entries.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let s = self.value(a).sum();
+        self.push(Tensor::scalar(s), Op::Sum(a))
+    }
+
+    /// Record a user-defined differentiable op with an already-computed
+    /// forward value (the caller performs the forward communication).
+    pub fn custom(&mut self, inputs: Vec<VarId>, value: Tensor, op: Box<dyn CustomOp>) -> VarId {
+        self.push(value, Op::Custom { inputs, op })
+    }
+
+    /// Run reverse-mode accumulation from scalar variable `root`.
+    ///
+    /// The adjoint of `root` is seeded with 1. Returns gradients for every
+    /// participating variable (leaves included).
+    pub fn backward(&self, root: VarId) -> Gradients {
+        assert_eq!(self.value(root).shape(), (1, 1), "backward root must be a scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[root.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(grad_out) = grads[i].take() else { continue };
+            // Re-insert so callers can read gradients of interior nodes too.
+            let node = &self.nodes[i];
+            self.accumulate(&mut grads, node, &grad_out);
+            grads[i] = Some(grad_out);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], node: &Node, g: &Tensor) {
+        let mut add = |id: VarId, contrib: Tensor| {
+            match &mut grads[id.0] {
+                Some(acc) => acc.add_assign(&contrib),
+                slot @ None => *slot = Some(contrib),
+            }
+        };
+        match &node.op {
+            Op::Leaf => {}
+            Op::Matmul(a, b) => {
+                let (va, vb) = (self.value(*a), self.value(*b));
+                add(*a, g.matmul_nt(vb));
+                add(*b, va.matmul_tn(g));
+            }
+            Op::Add(a, b) => {
+                add(*a, g.clone());
+                add(*b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                add(*a, g.clone());
+                add(*b, g.scaled(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let (va, vb) = (self.value(*a), self.value(*b));
+                let mut ga = g.clone();
+                for (x, y) in ga.data_mut().iter_mut().zip(vb.data().iter()) {
+                    *x *= y;
+                }
+                let mut gb = g.clone();
+                for (x, y) in gb.data_mut().iter_mut().zip(va.data().iter()) {
+                    *x *= y;
+                }
+                add(*a, ga);
+                add(*b, gb);
+            }
+            Op::AddRow(a, bias) => {
+                add(*a, g.clone());
+                // Bias gradient: column sums of g.
+                let mut gb = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    let row = g.row(r);
+                    for (o, &v) in gb.data_mut().iter_mut().zip(row.iter()) {
+                        *o += v;
+                    }
+                }
+                add(*bias, gb);
+            }
+            Op::Scale(a, alpha) => add(*a, g.scaled(*alpha)),
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for (id, w) in parts {
+                    let mut part = Tensor::zeros(g.rows(), *w);
+                    for r in 0..g.rows() {
+                        part.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                    }
+                    add(*id, part);
+                    off += w;
+                }
+            }
+            Op::GatherRows(a, idx, src_rows) => {
+                add(*a, g.scatter_add_rows(idx, *src_rows));
+            }
+            Op::ScatterAddRows(a, idx) => {
+                add(*a, g.gather_rows(idx));
+            }
+            Op::RowScale(a, w) => add(*a, g.row_scale(w)),
+            Op::Elu(a) => {
+                let va = self.value(*a);
+                let mut ga = g.clone();
+                for (x, &u) in ga.data_mut().iter_mut().zip(va.data().iter()) {
+                    if u < 0.0 {
+                        *x *= u.exp();
+                    }
+                }
+                add(*a, ga);
+            }
+            Op::Tanh(a) => {
+                let vy = &node.value;
+                let mut ga = g.clone();
+                for (x, &y) in ga.data_mut().iter_mut().zip(vy.data().iter()) {
+                    *x *= 1.0 - y * y;
+                }
+                add(*a, ga);
+            }
+            Op::LayerNorm { x, gamma, beta, eps } => {
+                let vx = self.value(*x);
+                let vg = self.value(*gamma);
+                let (rows, cols) = vx.shape();
+                let n = cols as f64;
+                let mut gx = Tensor::zeros(rows, cols);
+                let mut ggamma = Tensor::zeros(1, cols);
+                let mut gbeta = Tensor::zeros(1, cols);
+                for r in 0..rows {
+                    let xr = vx.row(r);
+                    let gr = g.row(r);
+                    let mean = xr.iter().sum::<f64>() / n;
+                    let var = xr.iter().map(|&u| (u - mean) * (u - mean)).sum::<f64>() / n;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    // xhat = (x - mean) * inv
+                    // dgamma += g * xhat ; dbeta += g
+                    // dxhat = g * gamma
+                    // dx = inv/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+                    let mut sum_dxhat = 0.0;
+                    let mut sum_dxhat_xhat = 0.0;
+                    for c in 0..cols {
+                        let xhat = (xr[c] - mean) * inv;
+                        let dxhat = gr[c] * vg.data()[c];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        ggamma.data_mut()[c] += gr[c] * xhat;
+                        gbeta.data_mut()[c] += gr[c];
+                    }
+                    let out = gx.row_mut(r);
+                    for c in 0..cols {
+                        let xhat = (xr[c] - mean) * inv;
+                        let dxhat = gr[c] * vg.data()[c];
+                        out[c] = inv / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+                    }
+                }
+                add(*x, gx);
+                add(*gamma, ggamma);
+                add(*beta, gbeta);
+            }
+            Op::WeightedSqSum(a, w) => {
+                let va = self.value(*a);
+                let s = g.item();
+                let mut ga = Tensor::zeros(va.rows(), va.cols());
+                for (r, &wr) in w.iter().enumerate() {
+                    let src = va.row(r);
+                    let dst = ga.row_mut(r);
+                    for (d, &u) in dst.iter_mut().zip(src.iter()) {
+                        *d = 2.0 * wr * u * s;
+                    }
+                }
+                add(*a, ga);
+            }
+            Op::Sum(a) => {
+                let va = self.value(*a);
+                add(*a, Tensor::full(va.rows(), va.cols(), g.item()));
+            }
+            Op::Custom { inputs, op } => {
+                let vals: Vec<&Tensor> = inputs.iter().map(|&i| self.value(i)).collect();
+                let contribs = op.backward(g, &vals);
+                assert_eq!(
+                    contribs.len(),
+                    inputs.len(),
+                    "custom op {} returned wrong gradient count",
+                    op.name()
+                );
+                for (id, c) in inputs.iter().zip(contribs) {
+                    if let Some(c) = c {
+                        add(*id, c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // f = sum(A * B); df/dA = 1 * B^T rows, df/dB = A^T * 1
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]));
+        let c = tape.matmul(a, b);
+        let s = tape.sum(c);
+        let g = tape.backward(s);
+        // dA[i,k] = sum_j B[k,j]
+        assert_eq!(g.get(a).unwrap().data(), &[11., 15., 11., 15.]);
+        // dB[k,j] = sum_i A[i,k]
+        assert_eq!(g.get(b).unwrap().data(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn gather_then_scatter_gradients() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(3, 1, vec![1., 2., 3.]));
+        let idx = Arc::new(vec![0usize, 0, 2]);
+        let gth = tape.gather_rows(x, idx.clone());
+        let sct = tape.scatter_add_rows(gth, Arc::new(vec![1usize, 1, 0]), 2);
+        let s = tape.sum(sct);
+        let g = tape.backward(s);
+        // Every gathered copy contributes 1 to its source row.
+        assert_eq!(g.get(x).unwrap().data(), &[2., 0., 1.]);
+    }
+
+    #[test]
+    fn custom_op_identity_backward() {
+        struct Identity;
+        impl CustomOp for Identity {
+            fn name(&self) -> &'static str {
+                "identity"
+            }
+            fn backward(&self, grad_out: &Tensor, _inputs: &[&Tensor]) -> Vec<Option<Tensor>> {
+                vec![Some(grad_out.clone())]
+            }
+        }
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 3, vec![1., -2., 3.]));
+        let v = tape.value(x).clone();
+        let y = tape.custom(vec![x], v, Box::new(Identity));
+        let sq = tape.mul(y, y);
+        let s = tape.sum(sq);
+        let g = tape.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[2., -4., 6.]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_multiple_uses() {
+        // f = sum(x + x) => df/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 2, vec![1., 2.]));
+        let y = tape.add(x, x);
+        let s = tape.sum(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(1.0));
+        let y = tape.leaf(Tensor::scalar(2.0));
+        let s = tape.sum(x);
+        let g = tape.backward(s);
+        assert!(g.get(y).is_none());
+    }
+}

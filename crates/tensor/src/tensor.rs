@@ -1,0 +1,404 @@
+//! Dense row-major `f64` matrices.
+//!
+//! Everything flowing through the GNN is a rank-2 tensor: node attribute
+//! matrices `[N, F]`, edge attribute matrices `[E, F]`, weight matrices
+//! `[in, out]`, and `[1, 1]` scalars. A single concrete 2-D type keeps the
+//! autodiff tape simple and the hot loops free of shape-polymorphism.
+
+use std::fmt;
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Zero-filled `rows x cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Tensor filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Tensor { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor { data, rows, cols }
+    }
+
+    /// 1x1 scalar tensor.
+    pub fn scalar(value: f64) -> Self {
+        Tensor { data: vec![value], rows: 1, cols: 1 }
+    }
+
+    /// Build row-by-row from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Tensor { data, rows, cols }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice of length `cols`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Value of a 1x1 tensor.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// `self += other` elementwise; shapes must match.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every entry by `alpha` in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// New tensor `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Tensor {
+        let mut out = self.clone();
+        out.scale_inplace(alpha);
+        out
+    }
+
+    /// Elementwise sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute entry (0 for empty tensors).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Matrix product `self * rhs` (`[m,k] x [k,n] -> [m,n]`).
+    ///
+    /// Plain ikj loop: the inner dimension stays cache-resident and the
+    /// compiler auto-vectorizes the row updates. Matrix sizes in this code
+    /// base are tall-skinny (`N x F` with small `F`), where this ordering is
+    /// near-optimal without blocking.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul inner dims: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { data: out, rows: m, cols: n }
+    }
+
+    /// `self * rhs^T` (`[m,k] x [n,k] -> [m,n]`), without materializing the
+    /// transpose. Used by matmul backward: `dA = dC * B^T`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt inner dims: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Tensor { data: out, rows: m, cols: n }
+    }
+
+    /// `self^T * rhs` (`[k,m]^T x [k,n] -> [m,n]`), without materializing the
+    /// transpose. Used by matmul backward: `dB = A^T * dC`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn inner dims: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &rhs.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { data: out, rows: m, cols: n }
+    }
+
+    /// Explicit transpose (rarely needed; backward passes use the fused
+    /// `matmul_nt`/`matmul_tn` variants instead).
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Concatenate tensors along columns; all must have the same row count.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let o_row = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                o_row[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Gather rows: `out[i] = self[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(idx.len(), self.cols);
+        for (i, &src) in idx.iter().enumerate() {
+            debug_assert!(src < self.rows, "gather index {src} out of {} rows", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Scatter-add rows: `out[idx[i]] += self[i]`, with `out` having
+    /// `out_rows` rows.
+    pub fn scatter_add_rows(&self, idx: &[usize], out_rows: usize) -> Tensor {
+        assert_eq!(idx.len(), self.rows, "scatter index length mismatch");
+        let mut out = Tensor::zeros(out_rows, self.cols);
+        for (i, &dst) in idx.iter().enumerate() {
+            debug_assert!(dst < out_rows, "scatter index {dst} out of {out_rows} rows");
+            let src = self.row(i);
+            let d = out.row_mut(dst);
+            for (o, &s) in d.iter_mut().zip(src.iter()) {
+                *o += s;
+            }
+        }
+        out
+    }
+
+    /// Multiply row `i` by `weights[i]`.
+    pub fn row_scale(&self, weights: &[f64]) -> Tensor {
+        assert_eq!(weights.len(), self.rows, "row_scale weight length mismatch");
+        let mut out = self.clone();
+        for (r, &w) in weights.iter().enumerate() {
+            for v in out.row_mut(r) {
+                *v *= w;
+            }
+        }
+        out
+    }
+
+    /// Maximum relative difference against another tensor, where the
+    /// denominator floors at 1 to keep near-zero entries well behaved.
+    pub fn max_rel_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_rel_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs() / a.abs().max(b.abs()).max(1.0))
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.5 - 1.0);
+        let b = Tensor::from_fn(5, 3, |r, c| (r as f64 - c as f64) * 0.25);
+        let nt = a.matmul_nt(&b);
+        let reference = a.matmul(&b.transpose());
+        assert!(nt.max_rel_diff(&reference) < 1e-14);
+
+        let c = Tensor::from_fn(4, 5, |r, c| ((r + c) as f64).sin());
+        let tn = a.matmul_tn(&c);
+        let reference = a.transpose().matmul(&c);
+        assert!(tn.max_rel_diff(&reference) < 1e-14);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_sums() {
+        // scatter_add(gather(x, idx), idx) multiplies each row by its
+        // multiplicity in idx.
+        let x = Tensor::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let idx = vec![0, 1, 1, 2, 2, 2];
+        let g = x.gather_rows(&idx);
+        let s = g.scatter_add_rows(&idx, 3);
+        for r in 0..3 {
+            let mult = (r + 1) as f64;
+            for c in 0..2 {
+                assert_eq!(s.get(r, c), mult * x.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Tensor::from_vec(2, 1, vec![1., 2.]);
+        let b = Tensor::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.data(), &[1., 3., 4., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn row_scale_scales_rows() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let s = a.row_scale(&[2.0, 0.5]);
+        assert_eq!(s.data(), &[2., 4., 1.5, 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+}

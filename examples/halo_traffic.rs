@@ -1,0 +1,70 @@
+//! Halo-exchange traffic accounting: run one forward+backward pass of the
+//! consistent GNN at R = 8 under each halo exchange implementation and
+//! print the per-rank message/byte counters the communicator records —
+//! the ground-truth traffic behind the paper's A2A vs N-A2A comparison.
+//!
+//! ```sh
+//! cargo run --release --example halo_traffic
+//! ```
+
+use std::sync::Arc;
+
+use cgnn::comm::World;
+use cgnn::core::{GnnConfig, HaloContext, HaloExchangeMode, RankData, Trainer};
+use cgnn::graph::{build_distributed_graph, LocalGraph};
+use cgnn::mesh::{BoxMesh, TaylorGreen};
+use cgnn::partition::{Partition, Strategy};
+
+fn main() {
+    let mesh = BoxMesh::new((8, 8, 8), 2, (1.0, 1.0, 1.0), false);
+    let part = Partition::new(&mesh, 8, Strategy::Slab);
+    let graphs: Arc<Vec<Arc<LocalGraph>>> =
+        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let field = TaylorGreen::new(0.01);
+
+    println!(
+        "mesh: 8^3 elements p=2 on 8 ranks; per-rank halo nodes: {}\n",
+        graphs[0].n_halo()
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>14} {:>12}",
+        "mode", "a2a ops", "a2a msgs", "sends", "a2a bytes", "allreduces"
+    );
+
+    for mode in [
+        HaloExchangeMode::None,
+        HaloExchangeMode::AllToAll,
+        HaloExchangeMode::NeighborAllToAll,
+        HaloExchangeMode::SendRecv,
+    ] {
+        let graphs = Arc::clone(&graphs);
+        let stats = World::run(8, move |comm| {
+            let g = Arc::clone(&graphs[comm.rank()]);
+            let ctx = HaloContext::new(comm.clone(), &g, mode);
+            let mut trainer = Trainer::new(GnnConfig::small(), 1, 1e-4, ctx);
+            let data = RankData::tgv_autoencode(g, &field, 0.0);
+            comm.stats_reset();
+            trainer.step(&data); // one full forward + backward + update
+            comm.stats_snapshot()
+        });
+        // Rank 0's counters (all interior-symmetric ranks look alike).
+        let s = stats[0];
+        println!(
+            "{:<10} {:>8} {:>12} {:>10} {:>14} {:>12}",
+            mode.label(),
+            s.all_to_alls,
+            s.a2a_messages,
+            s.sends,
+            s.a2a_bytes,
+            s.all_reduces
+        );
+    }
+
+    println!(
+        "\nreading the table:\n\
+         - every consistent mode issues 8 exchanges (4 NMP layers, forward+backward)\n\
+         - A2A sends 7 buffers per exchange (everyone), N-A2A only to real neighbours\n\
+         - Send-Recv shows up under `sends` instead of a2a messages\n\
+         - the all-reduce count covers the consistent loss (2) + gradient bucket (1)"
+    );
+}

@@ -1,0 +1,9 @@
+//! `cgnn` — umbrella crate re-exporting the full workspace.
+pub use cgnn_comm as comm;
+pub use cgnn_core as core;
+pub use cgnn_graph as graph;
+pub use cgnn_mesh as mesh;
+pub use cgnn_partition as partition;
+pub use cgnn_perf as perf;
+pub use cgnn_sem as sem;
+pub use cgnn_tensor as tensor;

@@ -1,0 +1,152 @@
+//! Integration test of paper Eq. 2: GNN *outputs* (and any function of
+//! them, e.g. the consistent loss) are invariant to the number and location
+//! of partition boundaries.
+
+use std::sync::Arc;
+
+use cgnn::comm::World;
+use cgnn::core::{consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode};
+use cgnn::graph::{build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph};
+use cgnn::mesh::{BoxMesh, TaylorGreen};
+use cgnn::partition::{Partition, Strategy};
+use cgnn::tensor::{Tape, Tensor};
+
+const SEED: u64 = 2024;
+
+/// Forward the seeded small GNN on one rank's local graph, returning
+/// `(gids, prediction, loss)`.
+fn forward_on(
+    g: &Arc<LocalGraph>,
+    ctx: &HaloContext,
+    field: &TaylorGreen,
+) -> (Vec<u64>, Tensor, f64) {
+    let (params, model) = ConsistentGnn::seeded(GnnConfig::small(), SEED);
+    let x_buf = node_velocity_features(g, field, 0.0);
+    let e_buf = edge_features(g, &x_buf, 3);
+    let idx = GraphIndices::from_graph(g);
+    let mut tape = Tape::new();
+    let bound = params.bind(&mut tape);
+    let x = tape.leaf(Tensor::from_vec(g.n_local(), 3, x_buf.clone()));
+    let e = tape.leaf(Tensor::from_vec(g.n_edges(), 7, e_buf));
+    let y = model.forward(&mut tape, &bound, x, e, g, &idx, ctx);
+    // Loss with the input as target (the paper's Fig. 6 demonstration).
+    let target = Tensor::from_vec(g.n_local(), 3, x_buf);
+    let l = consistent_mse(&mut tape, y, &target, g, &idx.node_inv_degree, &ctx.comm);
+    (g.gids.clone(), tape.value(y).clone(), tape.value(l).item())
+}
+
+fn reference(mesh: &BoxMesh, field: &TaylorGreen) -> (Arc<LocalGraph>, Tensor, f64) {
+    let global = Arc::new(build_global_graph(mesh));
+    let g2 = Arc::clone(&global);
+    let field = *field;
+    let (y, l) = World::run(1, move |comm| {
+        let ctx = HaloContext::single(comm.clone());
+        let (_, y, l) = forward_on(&g2, &ctx, &field);
+        (y, l)
+    })
+    .pop()
+    .expect("one result");
+    (global, y, l)
+}
+
+#[test]
+fn consistent_gnn_output_matches_r1_for_all_modes_and_partitions() {
+    let mesh = BoxMesh::new((4, 4, 4), 2, (1.0, 1.0, 1.0), false);
+    let field = TaylorGreen::new(0.01);
+    let (global, ref_y, ref_loss) = reference(&mesh, &field);
+
+    for (r, strategy) in [
+        (2, Strategy::Slab),
+        (4, Strategy::Pencil),
+        (8, Strategy::Block),
+        (4, Strategy::Rcb),
+    ] {
+        let part = Partition::new(&mesh, r, strategy);
+        let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+        );
+        for mode in [
+            HaloExchangeMode::AllToAll,
+            HaloExchangeMode::NeighborAllToAll,
+            HaloExchangeMode::SendRecv,
+        ] {
+            let graphs = Arc::clone(&graphs);
+            let out = World::run(r, move |comm| {
+                let g = Arc::clone(&graphs[comm.rank()]);
+                let ctx = HaloContext::new(comm.clone(), &g, mode);
+                forward_on(&g, &ctx, &field)
+            });
+            for (gids, y, loss) in &out {
+                assert!(
+                    (loss - ref_loss).abs() / ref_loss.abs().max(1e-12) < 1e-10,
+                    "loss mismatch r={r} {strategy:?} {mode:?}: {loss} vs {ref_loss}"
+                );
+                for (row, &gid) in gids.iter().enumerate() {
+                    let gr = global.local_of_gid(gid).expect("gid in global");
+                    for c in 0..3 {
+                        let a = y.get(row, c);
+                        let b = ref_y.get(gr, c);
+                        assert!(
+                            (a - b).abs() < 1e-10,
+                            "r={r} {strategy:?} {mode:?} gid {gid} col {c}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn standard_mp_loss_deviates_and_grows_with_rank_count() {
+    // The inconsistent baseline's loss error grows with R (paper Fig. 6
+    // left: roughly linear in R as the boundary-node fraction grows).
+    let mesh = BoxMesh::new((8, 8, 8), 1, (1.0, 1.0, 1.0), false);
+    let field = TaylorGreen::new(0.01);
+    let (_, _, ref_loss) = reference(&mesh, &field);
+
+    let mut errors = Vec::new();
+    for r in [2usize, 8, 32] {
+        let part = Partition::new(&mesh, r, Strategy::Block);
+        let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+        );
+        let out = World::run(r, move |comm| {
+            let g = Arc::clone(&graphs[comm.rank()]);
+            let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::None);
+            let (_, _, l) = forward_on(&g, &ctx, &field);
+            l
+        });
+        let err = (out[0] - ref_loss).abs() / ref_loss.abs();
+        errors.push((r, err));
+    }
+    assert!(errors[0].1 > 1e-8, "R=2 standard MP should already deviate: {errors:?}");
+    assert!(
+        errors[2].1 > errors[0].1,
+        "deviation should grow with R: {errors:?}"
+    );
+}
+
+#[test]
+fn consistency_holds_on_periodic_meshes() {
+    let mesh = BoxMesh::tgv_cube(4, 2);
+    let field = TaylorGreen::new(0.05);
+    let (global, ref_y, _) = reference(&mesh, &field);
+    let part = Partition::new(&mesh, 8, Strategy::Block);
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+    );
+    let out = World::run(8, move |comm| {
+        let g = Arc::clone(&graphs[comm.rank()]);
+        let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
+        forward_on(&g, &ctx, &field)
+    });
+    for (gids, y, _) in &out {
+        for (row, &gid) in gids.iter().enumerate() {
+            let gr = global.local_of_gid(gid).expect("gid in global");
+            for c in 0..3 {
+                assert!((y.get(row, c) - ref_y.get(gr, c)).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration test of the paper's Fig. 6 (right): a consistent distributed
+//! GNN trained on R = 8 sub-graphs follows the *identical* optimization
+//! trajectory as the un-partitioned R = 1 model, while the inconsistent
+//! (no-exchange) variant diverges from it.
+
+use std::sync::Arc;
+
+use cgnn::comm::World;
+use cgnn::core::{GnnConfig, HaloContext, HaloExchangeMode, RankData, Trainer};
+use cgnn::graph::{build_distributed_graph, build_global_graph, LocalGraph};
+use cgnn::mesh::{BoxMesh, TaylorGreen};
+use cgnn::partition::{Partition, Strategy};
+
+const SEED: u64 = 31;
+const ITERS: usize = 25;
+const LR: f64 = 1e-3;
+
+fn train_r1(mesh: &BoxMesh, field: &TaylorGreen) -> Vec<f64> {
+    let global = Arc::new(build_global_graph(mesh));
+    let field = *field;
+    World::run(1, move |comm| {
+        let ctx = HaloContext::single(comm.clone());
+        let mut trainer = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
+        let data = RankData::tgv_autoencode(Arc::clone(&global), &field, 0.0);
+        trainer.train(&data, ITERS)
+    })
+    .pop()
+    .expect("one history")
+}
+
+fn train_r8(mesh: &BoxMesh, field: &TaylorGreen, mode: HaloExchangeMode) -> Vec<Vec<f64>> {
+    let part = Partition::new(mesh, 8, Strategy::Block);
+    let graphs: Arc<Vec<Arc<LocalGraph>>> =
+        Arc::new(build_distributed_graph(mesh, &part).into_iter().map(Arc::new).collect());
+    let field = *field;
+    World::run(8, move |comm| {
+        let g = Arc::clone(&graphs[comm.rank()]);
+        let ctx = HaloContext::new(comm.clone(), &g, mode);
+        let mut trainer = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
+        let data = RankData::tgv_autoencode(g, &field, 0.0);
+        trainer.train(&data, ITERS)
+    })
+}
+
+#[test]
+fn consistent_training_recovers_unpartitioned_curve() {
+    let mesh = BoxMesh::new((4, 4, 4), 1, (1.0, 1.0, 1.0), false);
+    let field = TaylorGreen::new(0.01);
+    let target = train_r1(&mesh, &field);
+    let consistent = train_r8(&mesh, &field, HaloExchangeMode::NeighborAllToAll);
+    let standard = train_r8(&mesh, &field, HaloExchangeMode::None);
+
+    // All ranks see the same curve.
+    for h in &consistent[1..] {
+        assert_eq!(h, &consistent[0]);
+    }
+
+    // Consistent curve tracks the R=1 curve to rounding accuracy.
+    let mut max_rel = 0.0f64;
+    for (a, b) in consistent[0].iter().zip(&target) {
+        max_rel = max_rel.max((a - b).abs() / b.abs().max(1e-300));
+    }
+    assert!(max_rel < 1e-8, "consistent training deviates from R=1: {max_rel}");
+
+    // Standard curve deviates visibly once updates accumulate.
+    let last_rel = {
+        let (a, b) = (standard[0][ITERS - 1], target[ITERS - 1]);
+        (a - b).abs() / b.abs()
+    };
+    assert!(
+        last_rel > 1e-4,
+        "standard training should deviate from R=1 (got rel diff {last_rel})"
+    );
+
+    // And training still makes progress in all settings.
+    assert!(target[ITERS - 1] < target[0]);
+    assert!(consistent[0][ITERS - 1] < consistent[0][0]);
+}
+
+#[test]
+fn consistent_training_is_invariant_to_partition_strategy() {
+    // Same R, different cut locations: trajectories must still agree
+    // (consistency is about locations of boundaries, not just their count).
+    let mesh = BoxMesh::new((8, 2, 2), 1, (4.0, 1.0, 1.0), false);
+    let field = TaylorGreen::new(0.01);
+    let curves: Vec<Vec<f64>> = [Strategy::Slab, Strategy::Rcb]
+        .into_iter()
+        .map(|strategy| {
+            let part = Partition::new(&mesh, 4, strategy);
+            let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+                build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            );
+            World::run(4, move |comm| {
+                let g = Arc::clone(&graphs[comm.rank()]);
+                let ctx =
+                    HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
+                let mut trainer = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
+                let data = RankData::tgv_autoencode(g, &field, 0.0);
+                trainer.train(&data, 10)
+            })
+            .pop()
+            .expect("one history")
+        })
+        .collect();
+    for (a, b) in curves[0].iter().zip(&curves[1]) {
+        assert!(
+            (a - b).abs() / b.abs().max(1e-300) < 1e-9,
+            "slab vs RCB curves differ: {a} vs {b}"
+        );
+    }
+}
