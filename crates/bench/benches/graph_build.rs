@@ -52,5 +52,10 @@ fn bench_analytic_stats(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graph_build, bench_partitioners, bench_analytic_stats);
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_partitioners,
+    bench_analytic_stats
+);
 criterion_main!(benches);

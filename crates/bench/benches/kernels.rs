@@ -13,13 +13,19 @@ use cgnn_tensor::{Mlp, ParamSet, Tape, Tensor};
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     let mut rng = StdRng::seed_from_u64(1);
-    for &(m, k, n) in &[(4096usize, 24usize, 8usize), (4096, 96, 32), (16384, 96, 32)] {
+    for &(m, k, n) in &[
+        (4096usize, 24usize, 8usize),
+        (4096, 96, 32),
+        (16384, 96, 32),
+    ] {
         let a = uniform(m, k, 1.0, &mut rng);
         let b = uniform(k, n, 1.0, &mut rng);
         group.throughput(Throughput::Elements((2 * m * k * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(), |bch, _| {
-            bch.iter(|| a.matmul(&b))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(),
+            |bch, _| bch.iter(|| a.matmul(&b)),
+        );
     }
     group.finish();
 }
@@ -46,7 +52,16 @@ fn bench_mlp_forward_backward(c: &mut Criterion) {
     for (label, hidden, n_hidden) in [("small", 8usize, 2usize), ("large", 32, 5)] {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let mlp = Mlp::new(&mut params, "m", 3 * hidden, hidden, hidden, n_hidden, true, &mut rng);
+        let mlp = Mlp::new(
+            &mut params,
+            "m",
+            3 * hidden,
+            hidden,
+            hidden,
+            n_hidden,
+            true,
+            &mut rng,
+        );
         let x = uniform(50_000, 3 * hidden, 1.0, &mut rng);
         group.throughput(Throughput::Elements(50_000));
         group.bench_function(format!("forward_{label}_50k_rows"), |b| {

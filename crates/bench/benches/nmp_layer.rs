@@ -54,8 +54,12 @@ fn bench_halo_exchange_modes(c: &mut Criterion) {
     group.sample_size(10);
     let mesh = BoxMesh::new((8, 8, 8), 2, (1.0, 1.0, 1.0), false);
     let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let hidden = 32;
     for mode in [
         HaloExchangeMode::AllToAll,
@@ -91,11 +95,17 @@ fn bench_consistent_forward_r8(c: &mut Criterion) {
     group.sample_size(10);
     let mesh = BoxMesh::new((8, 8, 8), 1, (1.0, 1.0, 1.0), false);
     let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
-    for mode in
-        [HaloExchangeMode::None, HaloExchangeMode::AllToAll, HaloExchangeMode::NeighborAllToAll]
-    {
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
+    for mode in [
+        HaloExchangeMode::None,
+        HaloExchangeMode::AllToAll,
+        HaloExchangeMode::NeighborAllToAll,
+    ] {
         let graphs = Arc::clone(&graphs);
         group.bench_function(mode.label(), |b| {
             b.iter_custom(|iters| {

@@ -40,11 +40,20 @@ fn bench_rk4_step(c: &mut Criterion) {
     let tau = 2.0 * std::f64::consts::PI;
     let mesh = BoxMesh::new((4, 4, 4), 4, (tau, tau, tau), true);
     let solver = DiffusionSolver::new(&mesh, 0.1);
-    let mut u: Vec<f64> = (0..solver.n_dofs()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut u: Vec<f64> = (0..solver.n_dofs())
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
     group.throughput(Throughput::Elements(solver.n_dofs() as u64));
-    group.bench_function("step_4x4x4_p4", |b| b.iter(|| solver.rk4_step(&mut u, 1e-6)));
+    group.bench_function("step_4x4x4_p4", |b| {
+        b.iter(|| solver.rk4_step(&mut u, 1e-6))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_stiffness, bench_gather_scatter, bench_rk4_step);
+criterion_group!(
+    benches,
+    bench_stiffness,
+    bench_gather_scatter,
+    bench_rk4_step
+);
 criterion_main!(benches);

@@ -29,8 +29,9 @@ fn main() {
 
     let global = Arc::new(build_global_graph(&mesh));
     let g1 = Arc::clone(&global);
-    let reference =
-        World::run(1, move |comm| demo_loss(&g1, &HaloContext::single(comm.clone()), SEED))[0];
+    let reference = World::run(1, move |comm| {
+        demo_loss(&g1, &HaloContext::single(comm.clone()), SEED)
+    })[0];
     println!("R=1 reference loss: {reference:.12e}\n");
     println!(
         "{:>5} {:>18} {:>18} {:>12} {:>12}",
@@ -42,7 +43,10 @@ fn main() {
     while r <= max_r && mesh.num_elements() >= r {
         let part = Partition::new(&mesh, r, Strategy::Block);
         let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let mut losses = [0.0f64; 2];
         for (k, mode) in [HaloExchangeMode::None, HaloExchangeMode::NeighborAllToAll]

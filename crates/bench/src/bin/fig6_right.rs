@@ -41,8 +41,12 @@ fn main() {
     .expect("history");
 
     let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let mut curves = Vec::new();
     for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None] {
         let graphs = Arc::clone(&graphs);

@@ -9,7 +9,10 @@ use cgnn_perf::{measure_single_rank, paper_sweep, MachineModel};
 
 fn main() {
     let machine = MachineModel::frontier();
-    println!("Fig. 7: weak-scaling throughput and efficiency ({})", machine.name);
+    println!(
+        "Fig. 7: weak-scaling throughput and efficiency ({})",
+        machine.name
+    );
 
     // Host calibration: real measured iteration of this implementation.
     let cal = measure_single_rank(GnnConfig::small(), 6, 2, 3);
@@ -20,7 +23,10 @@ fn main() {
 
     let series = paper_sweep(&machine);
     for s in &series {
-        println!("--- model={} loading={} mode={} ---", s.model, s.loading, s.mode);
+        println!(
+            "--- model={} loading={} mode={} ---",
+            s.model, s.loading, s.mode
+        );
         println!(
             "{:>6} {:>14} {:>14} {:>10} | {:>9} {:>9} {:>9}",
             "ranks", "total nodes", "nodes/s", "eff [%]", "compute", "halo", "allreduce"

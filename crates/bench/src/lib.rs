@@ -13,9 +13,7 @@
 
 use std::sync::Arc;
 
-use cgnn_core::{
-    consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext,
-};
+use cgnn_core::{consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext};
 use cgnn_graph::{edge_features, node_velocity_features, LocalGraph};
 use cgnn_mesh::TaylorGreen;
 use cgnn_tensor::{Tape, Tensor};
@@ -41,7 +39,10 @@ pub fn demo_loss(g: &Arc<LocalGraph>, ctx: &HaloContext, seed: u64) -> f64 {
 /// Parse an env var override with a default (used by the figure binaries to
 /// switch between quick and paper-scale runs).
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Write a serializable result as pretty JSON under `results/`.

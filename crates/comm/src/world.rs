@@ -73,7 +73,11 @@ impl World {
                         .lock()
                         .take()
                         .expect("receiver set already taken");
-                    let comm = Comm { rank, shared, rx: Arc::new(rx) };
+                    let comm = Comm {
+                        rank,
+                        shared,
+                        rx: Arc::new(rx),
+                    };
                     *slot = Some(f(&comm));
                 }));
             }
@@ -83,7 +87,10 @@ impl World {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
     fn build_shared(size: usize) -> Arc<Shared> {
@@ -141,10 +148,14 @@ impl Comm {
         self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
         self.stats()
             .all_reduce_bytes
-            .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+            .fetch_add(std::mem::size_of_val(buf) as u64, Ordering::Relaxed);
         buf.fill(0.0);
         for part in &parts {
-            assert_eq!(part.len(), buf.len(), "all_reduce_sum length mismatch across ranks");
+            assert_eq!(
+                part.len(),
+                buf.len(),
+                "all_reduce_sum length mismatch across ranks"
+            );
             for (b, &p) in buf.iter_mut().zip(part.iter()) {
                 *b += p;
             }
@@ -164,7 +175,7 @@ impl Comm {
         self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
         self.stats()
             .all_reduce_bytes
-            .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+            .fetch_add(std::mem::size_of_val(buf) as u64, Ordering::Relaxed);
         buf.fill(f64::NEG_INFINITY);
         for part in &parts {
             for (b, &p) in buf.iter_mut().zip(part.iter()) {
@@ -203,14 +214,20 @@ impl Comm {
     /// trick of passing `torch.empty(0)` for non-neighbours). Returns
     /// `recv[src]`, the buffer sent to this rank by rank `src`.
     pub fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
-        assert_eq!(send.len(), self.size(), "all_to_all needs one buffer per rank");
+        assert_eq!(
+            send.len(),
+            self.size(),
+            "all_to_all needs one buffer per rank"
+        );
         let st = self.stats();
         st.all_to_alls.fetch_add(1, Ordering::Relaxed);
         for (dst, buf) in send.iter().enumerate() {
             if dst != self.rank && !buf.is_empty() {
                 st.a2a_messages.fetch_add(1, Ordering::Relaxed);
-                st.a2a_bytes
-                    .fetch_add((buf.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+                st.a2a_bytes.fetch_add(
+                    (buf.len() * std::mem::size_of::<f64>()) as u64,
+                    Ordering::Relaxed,
+                );
             }
         }
         for (dst, buf) in send.into_iter().enumerate() {
@@ -234,8 +251,10 @@ impl Comm {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         let st = self.stats();
         st.sends.fetch_add(1, Ordering::Relaxed);
-        st.send_bytes
-            .fetch_add((data.len() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+        st.send_bytes.fetch_add(
+            (data.len() * std::mem::size_of::<f64>()) as u64,
+            Ordering::Relaxed,
+        );
         self.shared.senders[self.rank][dst]
             .send((tag, data))
             .expect("p2p channel closed");
@@ -321,7 +340,13 @@ mod tests {
     fn all_to_all_empty_buffers_skip_traffic() {
         let out = World::run(3, |comm| {
             let send: Vec<Vec<f64>> = (0..3)
-                .map(|dst| if dst == (comm.rank() + 1) % 3 { vec![1.0, 2.0] } else { vec![] })
+                .map(|dst| {
+                    if dst == (comm.rank() + 1) % 3 {
+                        vec![1.0, 2.0]
+                    } else {
+                        vec![]
+                    }
+                })
                 .collect();
             let recv = comm.all_to_all(send);
             (recv, comm.stats_snapshot())
@@ -343,7 +368,9 @@ mod tests {
             }
             total
         });
-        let expect: f64 = (0..20).map(|i| (0..5).map(|r| (r + i) as f64).sum::<f64>()).sum();
+        let expect: f64 = (0..20)
+            .map(|i| (0..5).map(|r| (r + i) as f64).sum::<f64>())
+            .sum();
         for v in out {
             assert_eq!(v, expect);
         }

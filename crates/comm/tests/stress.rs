@@ -64,7 +64,9 @@ fn large_buffer_all_to_all_roundtrip() {
     let out = World::run(r, |comm| {
         let send: Vec<Vec<f64>> = (0..r)
             .map(|dst| {
-                (0..n).map(|i| (comm.rank() * r + dst) as f64 + i as f64 * 1e-6).collect()
+                (0..n)
+                    .map(|i| (comm.rank() * r + dst) as f64 + i as f64 * 1e-6)
+                    .collect()
             })
             .collect();
         let recv = comm.all_to_all(send);

@@ -28,7 +28,7 @@ pub fn reduce_gradients(
                 debug_assert_eq!(g.shape(), t.shape(), "gradient shape mismatch");
                 flat.extend_from_slice(g.data());
             }
-            None => flat.extend(std::iter::repeat(0.0).take(t.len())),
+            None => flat.extend(std::iter::repeat_n(0.0, t.len())),
         }
     }
     comm.all_reduce_sum(&mut flat);
@@ -36,7 +36,11 @@ pub fn reduce_gradients(
     let mut off = 0;
     for t in params.tensors() {
         let n = t.len();
-        out.push(Tensor::from_vec(t.rows(), t.cols(), flat[off..off + n].to_vec()));
+        out.push(Tensor::from_vec(
+            t.rows(),
+            t.cols(),
+            flat[off..off + n].to_vec(),
+        ));
         off += n;
     }
     out

@@ -67,17 +67,24 @@ pub struct HaloContext {
 impl HaloContext {
     /// Collective constructor; call on every rank with its own `graph`.
     pub fn new(comm: Comm, graph: &LocalGraph, mode: HaloExchangeMode) -> Self {
-        let local_max =
-            graph.halo.send_ids.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        let local_max = graph.halo.send_ids.iter().map(Vec::len).max().unwrap_or(0) as f64;
         let mut buf = [local_max];
         comm.all_reduce_max(&mut buf);
-        HaloContext { comm, mode, max_shared: buf[0] as usize }
+        HaloContext {
+            comm,
+            mode,
+            max_shared: buf[0] as usize,
+        }
     }
 
     /// Non-collective constructor for single-rank (R = 1) use.
     pub fn single(comm: Comm) -> Self {
         assert_eq!(comm.size(), 1, "single() is only for R = 1 worlds");
-        HaloContext { comm, mode: HaloExchangeMode::None, max_shared: 0 }
+        HaloContext {
+            comm,
+            mode: HaloExchangeMode::None,
+            max_shared: 0,
+        }
     }
 }
 
@@ -96,7 +103,11 @@ const HALO_TAG: u32 = 0x4841;
 pub fn halo_exchange_apply(a: &Tensor, graph: &LocalGraph, ctx: &HaloContext) -> Tensor {
     let mut out = a.clone();
     let cols = a.cols();
-    debug_assert_eq!(a.rows(), graph.n_local(), "halo exchange expects local rows only");
+    debug_assert_eq!(
+        a.rows(),
+        graph.n_local(),
+        "halo exchange expects local rows only"
+    );
     match ctx.mode {
         HaloExchangeMode::None => out,
         HaloExchangeMode::AllToAll | HaloExchangeMode::NeighborAllToAll => {
@@ -227,9 +238,16 @@ mod tests {
         }
         for (gids, a, out) in &results {
             for (r, &gid) in gids.iter().enumerate() {
-                let copies = graphs.iter().filter(|g| g.local_of_gid(gid).is_some()).count();
+                let copies = graphs
+                    .iter()
+                    .filter(|g| g.local_of_gid(gid).is_some())
+                    .count();
                 for c in 0..2 {
-                    let expect = if copies > 1 { sums[&gid][c] } else { a.get(r, c) };
+                    let expect = if copies > 1 {
+                        sums[&gid][c]
+                    } else {
+                        a.get(r, c)
+                    };
                     assert!(
                         (out.get(r, c) - expect).abs() < 1e-12,
                         "mode {mode:?} gid {gid} col {c}: {} vs {}",
@@ -277,14 +295,21 @@ mod tests {
         let graphs = Arc::new(build_distributed_graph(&mesh, &part));
         let stats = World::run(4, |comm| {
             let g = &graphs[comm.rank()];
-            for mode in [HaloExchangeMode::AllToAll, HaloExchangeMode::NeighborAllToAll] {
+            for mode in [
+                HaloExchangeMode::AllToAll,
+                HaloExchangeMode::NeighborAllToAll,
+            ] {
                 let ctx = HaloContext::new(comm.clone(), g, mode);
                 comm.stats_reset();
                 let a = Tensor::from_fn(g.n_local(), 4, |_, _| 1.0);
                 let _ = halo_exchange_apply(&a, g, &ctx);
                 let s = comm.stats_snapshot();
                 if mode == HaloExchangeMode::AllToAll {
-                    assert_eq!(s.a2a_messages as usize, comm.size() - 1, "A2A talks to everyone");
+                    assert_eq!(
+                        s.a2a_messages as usize,
+                        comm.size() - 1,
+                        "A2A talks to everyone"
+                    );
                 } else {
                     assert_eq!(
                         s.a2a_messages as usize,
@@ -312,14 +337,14 @@ mod tests {
             let g = &graphs[comm.rank()];
             let ctx = HaloContext::new(comm.clone(), g, HaloExchangeMode::NeighborAllToAll);
             let a = Tensor::from_fn(g.n_local(), 1, |r, _| (g.gids[r] as f64 * 0.37).sin());
-            let b = Tensor::from_fn(g.n_local(), 1, |r, _| (g.gids[r] as f64 * 0.11).cos()
-                + comm.rank() as f64 * 0.01);
+            let b = Tensor::from_fn(g.n_local(), 1, |r, _| {
+                (g.gids[r] as f64 * 0.11).cos() + comm.rank() as f64 * 0.01
+            });
             let ha = halo_exchange_apply(&a, g, &ctx);
             let hb = halo_exchange_apply(&b, g, &ctx);
-            let dot =
-                |x: &Tensor, y: &Tensor| -> f64 {
-                    (0..g.n_local()).map(|r| x.get(r, 0) * y.get(r, 0)).sum()
-                };
+            let dot = |x: &Tensor, y: &Tensor| -> f64 {
+                (0..g.n_local()).map(|r| x.get(r, 0) * y.get(r, 0)).sum()
+            };
             (dot(&ha, &b), dot(&a, &hb))
         });
         let lhs: f64 = inner.iter().map(|&(l, _)| l).sum();

@@ -53,8 +53,16 @@ pub fn consistent_mse(
     comm: &Comm,
 ) -> VarId {
     let fy = target.cols();
-    assert_eq!(tape.value(pred).shape(), target.shape(), "pred/target shape mismatch");
-    assert_eq!(target.rows(), graph.n_local(), "target must cover local nodes");
+    assert_eq!(
+        tape.value(pred).shape(),
+        target.shape(),
+        "pred/target shape mismatch"
+    );
+    assert_eq!(
+        target.rows(),
+        graph.n_local(),
+        "target must cover local nodes"
+    );
 
     // S_r (Eq. 6b): degree-weighted sum of squared errors.
     let t = tape.leaf(target.clone());

@@ -34,7 +34,14 @@ impl GnnConfig {
     /// layers (3,979 parameters in the paper; 4,003 here — the paper does
     /// not fully specify MLP internals, see EXPERIMENTS.md).
     pub fn small() -> Self {
-        GnnConfig { hidden: 8, n_mp_layers: 4, mlp_hidden: 2, node_in: 3, edge_in: 7, node_out: 3 }
+        GnnConfig {
+            hidden: 8,
+            n_mp_layers: 4,
+            mlp_hidden: 2,
+            node_in: 3,
+            edge_in: 7,
+            node_out: 3,
+        }
     }
 
     /// The paper's "large" configuration: `N_H = 32`, `M = 4`, 5 MLP hidden
@@ -102,7 +109,13 @@ impl ConsistentGnn {
             false,
             rng,
         );
-        ConsistentGnn { config, node_encoder, edge_encoder, layers, node_decoder }
+        ConsistentGnn {
+            config,
+            node_encoder,
+            edge_encoder,
+            layers,
+            node_decoder,
+        }
     }
 
     /// Convenience: build model + fresh parameter set from a seed.
@@ -141,7 +154,11 @@ impl ConsistentGnn {
     pub fn num_scalars(&self) -> usize {
         self.node_encoder.num_scalars()
             + self.edge_encoder.num_scalars()
-            + self.layers.iter().map(ConsistentMpLayer::num_scalars).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(ConsistentMpLayer::num_scalars)
+                .sum::<usize>()
             + self.node_decoder.num_scalars()
     }
 }

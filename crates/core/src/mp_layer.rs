@@ -65,12 +65,7 @@ impl CustomOp for HaloSyncOp {
 }
 
 /// Record the halo sync on the tape (performs the forward exchange).
-pub fn halo_sync(
-    tape: &mut Tape,
-    a: VarId,
-    graph: &Arc<LocalGraph>,
-    ctx: &HaloContext,
-) -> VarId {
+pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloContext) -> VarId {
     if !ctx.mode.is_consistent() || ctx.comm.size() == 1 {
         // Identity; nothing to record.
         return a;
@@ -79,7 +74,10 @@ pub fn halo_sync(
     tape.custom(
         vec![a],
         value,
-        Box::new(HaloSyncOp { graph: Arc::clone(graph), ctx: ctx.clone() }),
+        Box::new(HaloSyncOp {
+            graph: Arc::clone(graph),
+            ctx: ctx.clone(),
+        }),
     )
 }
 
@@ -181,8 +179,10 @@ mod tests {
         let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
         let global = Arc::new(build_global_graph(&mesh));
         let part = Partition::new(&mesh, 2, Strategy::Slab);
-        let graphs: Vec<Arc<LocalGraph>> =
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let graphs: Vec<Arc<LocalGraph>> = build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let hidden = 4;
 
         // Identical parameters everywhere.
@@ -261,8 +261,10 @@ mod tests {
         let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
         let global = Arc::new(build_global_graph(&mesh));
         let part = Partition::new(&mesh, 2, Strategy::Slab);
-        let graphs: Vec<Arc<LocalGraph>> =
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let graphs: Vec<Arc<LocalGraph>> = build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let hidden = 4;
         let build = || {
             let mut params = ParamSet::new();
@@ -329,8 +331,10 @@ mod tests {
         let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
         let global = Arc::new(build_global_graph(&mesh));
         let part = Partition::new(&mesh, 2, Strategy::Slab);
-        let graphs: Vec<Arc<LocalGraph>> =
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect();
+        let graphs: Vec<Arc<LocalGraph>> = build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let hidden = 4;
         let build = || {
             let mut params = ParamSet::new();
@@ -378,7 +382,11 @@ mod tests {
         for (gids, xn) in &dist {
             for (r, &gid) in gids.iter().enumerate() {
                 let gr = global.local_of_gid(gid).expect("gid in global");
-                let shared = graphs.iter().filter(|g| g.local_of_gid(gid).is_some()).count() > 1;
+                let shared = graphs
+                    .iter()
+                    .filter(|g| g.local_of_gid(gid).is_some())
+                    .count()
+                    > 1;
                 for c in 0..hidden {
                     let dev = (xn.get(r, c) - reference.get(gr, c)).abs();
                     if shared {
@@ -389,7 +397,10 @@ mod tests {
                 }
             }
         }
-        assert!(max_boundary_dev > 1e-3, "boundary deviation {max_boundary_dev} suspiciously small");
+        assert!(
+            max_boundary_dev > 1e-3,
+            "boundary deviation {max_boundary_dev} suspiciously small"
+        );
         // One layer of message passing only corrupts nodes within one hop of
         // the cut; most interior nodes remain exact.
         assert!(max_interior_dev < max_boundary_dev);

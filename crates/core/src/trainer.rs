@@ -70,7 +70,12 @@ pub struct Trainer {
 impl Trainer {
     pub fn new(config: GnnConfig, seed: u64, lr: f64, ctx: HaloContext) -> Self {
         let (params, model) = ConsistentGnn::seeded(config, seed);
-        Trainer { model, params, opt: Adam::new(lr), ctx }
+        Trainer {
+            model,
+            params,
+            opt: Adam::new(lr),
+            ctx,
+        }
     }
 
     /// Forward pass + consistent loss, no parameter update. Collective.
@@ -79,7 +84,9 @@ impl Trainer {
         let bound = self.params.bind(&mut tape);
         let x = tape.leaf(data.x.clone());
         let e = tape.leaf(data.e.clone());
-        let y = self.model.forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
+        let y = self
+            .model
+            .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
         let l = consistent_mse(
             &mut tape,
             y,
@@ -97,7 +104,9 @@ impl Trainer {
         let bound = self.params.bind(&mut tape);
         let x = tape.leaf(data.x.clone());
         let e = tape.leaf(data.e.clone());
-        let y = self.model.forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
+        let y = self
+            .model
+            .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
         tape.value(y).clone()
     }
 
@@ -108,7 +117,9 @@ impl Trainer {
         let bound = self.params.bind(&mut tape);
         let x = tape.leaf(data.x.clone());
         let e = tape.leaf(data.e.clone());
-        let y = self.model.forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
+        let y = self
+            .model
+            .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
         let l = consistent_mse(
             &mut tape,
             y,
@@ -173,7 +184,10 @@ mod tests {
         })
         .pop()
         .expect("one history");
-        assert!(history[29] < history[0] * 0.9, "loss did not drop: {history:?}");
+        assert!(
+            history[29] < history[0] * 0.9,
+            "loss did not drop: {history:?}"
+        );
     }
 
     /// Distributed rollouts remain partition-consistent: after k

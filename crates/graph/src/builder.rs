@@ -98,9 +98,7 @@ fn build_rank_graph(
     }
     gids.sort_unstable();
     gids.dedup();
-    let lid_of = |gid: u64| -> usize {
-        gids.binary_search(&gid).expect("gid must be local")
-    };
+    let lid_of = |gid: u64| -> usize { gids.binary_search(&gid).expect("gid must be local") };
 
     let pos: Vec<[f64; 3]> = gids.iter().map(|&g| mesh.node_pos(g)).collect();
 
@@ -183,7 +181,10 @@ fn build_rank_graph(
         edge_disp,
         edge_inv_degree,
         node_inv_degree,
-        halo: HaloPlan { neighbors, send_ids },
+        halo: HaloPlan {
+            neighbors,
+            send_ids,
+        },
     };
     debug_assert!({
         g.validate();
@@ -239,10 +240,14 @@ mod tests {
             assert_eq!(g.n_halo(), 9);
         }
         // Shared gid lists must agree across the pair.
-        let shared0: Vec<u64> =
-            graphs[0].halo.send_ids[0].iter().map(|&l| graphs[0].gids[l]).collect();
-        let shared1: Vec<u64> =
-            graphs[1].halo.send_ids[0].iter().map(|&l| graphs[1].gids[l]).collect();
+        let shared0: Vec<u64> = graphs[0].halo.send_ids[0]
+            .iter()
+            .map(|&l| graphs[0].gids[l])
+            .collect();
+        let shared1: Vec<u64> = graphs[1].halo.send_ids[0]
+            .iter()
+            .map(|&l| graphs[1].gids[l])
+            .collect();
         assert_eq!(shared0, shared1);
     }
 
@@ -260,14 +265,16 @@ mod tests {
     #[test]
     fn inverse_node_degrees_sum_to_global_count() {
         // Paper Eq. 6c: sum over ranks and local nodes of 1/d_i = N.
-        for (r, strategy) in [(2, Strategy::Slab), (4, Strategy::Pencil), (8, Strategy::Block), (5, Strategy::Rcb)] {
+        for (r, strategy) in [
+            (2, Strategy::Slab),
+            (4, Strategy::Pencil),
+            (8, Strategy::Block),
+            (5, Strategy::Rcb),
+        ] {
             let mesh = BoxMesh::new((4, 4, 4), 1, (1.0, 1.0, 1.0), false);
             let part = Partition::new(&mesh, r, strategy);
             let graphs = build_distributed_graph(&mesh, &part);
-            let neff: f64 = graphs
-                .iter()
-                .flat_map(|g| g.node_inv_degree.iter())
-                .sum();
+            let neff: f64 = graphs.iter().flat_map(|g| g.node_inv_degree.iter()).sum();
             assert!(
                 (neff - mesh.num_global_nodes() as f64).abs() < 1e-9,
                 "r={r}: Neff={neff} vs N={}",
@@ -306,11 +313,16 @@ mod tests {
                     .iter()
                     .position(|&x| x == g.rank)
                     .expect("neighbor relation must be symmetric");
-                let mine: Vec<u64> =
-                    g.halo.send_ids[ni].iter().map(|&l| g.gids[l]).collect();
-                let theirs: Vec<u64> =
-                    other.halo.send_ids[back].iter().map(|&l| other.gids[l]).collect();
-                assert_eq!(mine, theirs, "shared gid lists differ for pair ({}, {s})", g.rank);
+                let mine: Vec<u64> = g.halo.send_ids[ni].iter().map(|&l| g.gids[l]).collect();
+                let theirs: Vec<u64> = other.halo.send_ids[back]
+                    .iter()
+                    .map(|&l| other.gids[l])
+                    .collect();
+                assert_eq!(
+                    mine, theirs,
+                    "shared gid lists differ for pair ({}, {s})",
+                    g.rank
+                );
             }
         }
     }
@@ -354,7 +366,12 @@ mod tests {
         let part = Partition::new(&mesh, 4, Strategy::Pencil);
         let graphs = build_distributed_graph(&mesh, &part);
         let mut global_keys: Vec<(u64, u64)> = (0..global.n_edges())
-            .map(|e| (global.gids[global.edge_src[e]], global.gids[global.edge_dst[e]]))
+            .map(|e| {
+                (
+                    global.gids[global.edge_src[e]],
+                    global.gids[global.edge_dst[e]],
+                )
+            })
             .collect();
         global_keys.sort_unstable();
         let mut dist_keys: Vec<(u64, u64)> = graphs

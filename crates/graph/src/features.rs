@@ -36,7 +36,11 @@ pub fn node_noise_features(g: &LocalGraph, noise: &GidNoise, dim: usize) -> Vec<
 /// `[x_j - x_i, dx, dy, dz, |d|]` per directed edge, row-major `[n_edges, 7]`.
 pub fn edge_features(g: &LocalGraph, node_feats: &[f64], fx: usize) -> Vec<f64> {
     assert_eq!(fx, NODE_FEATS, "paper edge features assume 3 node features");
-    assert_eq!(node_feats.len(), g.n_local() * fx, "node feature buffer size");
+    assert_eq!(
+        node_feats.len(),
+        g.n_local() * fx,
+        "node feature buffer size"
+    );
     let mut out = Vec::with_capacity(g.n_edges() * EDGE_FEATS);
     for e in 0..g.n_edges() {
         let (i, j) = (g.edge_src[e], g.edge_dst[e]);

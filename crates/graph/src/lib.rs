@@ -17,7 +17,9 @@ pub mod local_graph;
 pub mod stats;
 
 pub use builder::{build_distributed_graph, build_global_graph};
-pub use features::{edge_features, node_noise_features, node_velocity_features, EDGE_FEATS, NODE_FEATS};
+pub use features::{
+    edge_features, node_noise_features, node_velocity_features, EDGE_FEATS, NODE_FEATS,
+};
 pub use local_graph::{HaloPlan, LocalGraph};
 pub use stats::{
     analytic_block_profiles, analytic_block_stats, exact_profile, exact_stats, summarize,

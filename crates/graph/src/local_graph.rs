@@ -97,7 +97,10 @@ impl LocalGraph {
         assert_eq!(self.edge_src.len(), self.edge_dst.len());
         assert_eq!(self.edge_src.len(), self.edge_disp.len());
         assert_eq!(self.edge_src.len(), self.edge_inv_degree.len());
-        assert!(self.gids.windows(2).all(|w| w[0] < w[1]), "gids must be strictly ascending");
+        assert!(
+            self.gids.windows(2).all(|w| w[0] < w[1]),
+            "gids must be strictly ascending"
+        );
         for (&s, &d) in self.edge_src.iter().zip(&self.edge_dst) {
             assert!(s < n && d < n, "edge endpoint out of range");
             assert_ne!(s, d, "self-loop");

@@ -85,7 +85,10 @@ pub fn exact_profile(g: &LocalGraph) -> RankProfile {
 /// tests — but O(R * 27) instead of O(total nodes), so it handles the
 /// paper's 2048-rank / 1.1e9-node configurations instantly.
 pub fn analytic_block_stats(mesh: &BoxMesh, layout: &Layout) -> Vec<RankGraphStats> {
-    analytic_block_profiles(mesh, layout).into_iter().map(|p| p.stats).collect()
+    analytic_block_profiles(mesh, layout)
+        .into_iter()
+        .map(|p| p.stats)
+        .collect()
 }
 
 /// Closed-form per-rank [`RankProfile`]s (stats + per-neighbour buffer
@@ -94,8 +97,11 @@ pub fn analytic_block_profiles(mesh: &BoxMesh, layout: &Layout) -> Vec<RankProfi
     let (ex, ey, ez) = mesh.elem_counts();
     let p = mesh.order();
     let periodic = mesh.is_periodic();
-    let ranges =
-        [uniform_ranges(ex, layout.rx), uniform_ranges(ey, layout.ry), uniform_ranges(ez, layout.rz)];
+    let ranges = [
+        uniform_ranges(ex, layout.rx),
+        uniform_ranges(ey, layout.ry),
+        uniform_ranges(ez, layout.rz),
+    ];
     let dims = [ex, ey, ez];
     let rr = [layout.rx, layout.ry, layout.rz];
 
@@ -151,15 +157,8 @@ pub fn analytic_block_profiles(mesh: &BoxMesh, layout: &Layout) -> Vec<RankProfi
                 let ncells = [ncell.0, ncell.1, ncell.2];
                 let mut shared = 1usize;
                 for a in 0..3 {
-                    shared *= axis_overlap(
-                        p,
-                        dims[a],
-                        rr[a],
-                        periodic,
-                        &ranges[a],
-                        cells[a],
-                        ncells[a],
-                    );
+                    shared *=
+                        axis_overlap(p, dims[a], rr[a], periodic, &ranges[a], cells[a], ncells[a]);
                 }
                 halo_nodes += shared;
                 shared_per_neighbor.push((nr, shared));
@@ -218,13 +217,15 @@ fn axis_overlap(
     if r_axis == 1 {
         // Both blocks own the full axis.
         debug_assert_eq!(ca, cb);
-        return if periodic { p * n_elems } else { p * n_elems + 1 };
+        return if periodic {
+            p * n_elems
+        } else {
+            p * n_elems + 1
+        };
     }
     let a = ((p * starts[ca]) as i64, (p * starts[ca + 1]) as i64);
     let b = ((p * starts[cb]) as i64, (p * starts[cb + 1]) as i64);
-    let closed = |x: (i64, i64), y: (i64, i64)| -> i64 {
-        (x.1.min(y.1) - x.0.max(y.0) + 1).max(0)
-    };
+    let closed = |x: (i64, i64), y: (i64, i64)| -> i64 { (x.1.min(y.1) - x.0.max(y.0) + 1).max(0) };
     let mut total = closed(a, b);
     if periodic {
         let n = (p * n_elems) as i64;
@@ -247,7 +248,12 @@ mod tests {
         let analytic = analytic_block_stats(mesh, &layout);
         assert_eq!(exact.len(), analytic.len());
         for (r, (e, a)) in exact.iter().zip(&analytic).enumerate() {
-            assert_eq!(e, a, "rank {r} of layout {layout:?} (periodic={})", mesh.is_periodic());
+            assert_eq!(
+                e,
+                a,
+                "rank {r} of layout {layout:?} (periodic={})",
+                mesh.is_periodic()
+            );
         }
     }
 
@@ -289,7 +295,11 @@ mod tests {
     #[test]
     fn analytic_matches_exact_uneven_blocks() {
         let mesh = BoxMesh::new((5, 3, 4), 2, (1.0, 1.0, 1.0), false);
-        for layout in [Layout::new(3, 1, 1), Layout::new(2, 3, 2), Layout::new(5, 3, 1)] {
+        for layout in [
+            Layout::new(3, 1, 1),
+            Layout::new(2, 3, 2),
+            Layout::new(5, 3, 1),
+        ] {
             check_analytic_matches_exact(&mesh, layout);
         }
     }
@@ -304,7 +314,10 @@ mod tests {
         assert_eq!(stats.len(), 2048);
         let s = summarize(&stats);
         // ~531k local nodes per rank ((5*16+1)^3), bounded halos/neighbors.
-        assert!(s.local_nodes.0 >= 500_000 && s.local_nodes.1 <= 550_000, "{s:?}");
+        assert!(
+            s.local_nodes.0 >= 500_000 && s.local_nodes.1 <= 550_000,
+            "{s:?}"
+        );
         assert!(s.neighbors.1 <= 26);
         assert!(s.halo_nodes.1 < s.local_nodes.0 / 2);
         // Total graph size ~1.1e9 nodes (before accounting for shared
@@ -316,8 +329,18 @@ mod tests {
     #[test]
     fn summarize_computes_min_max_avg() {
         let stats = vec![
-            RankGraphStats { local_nodes: 10, halo_nodes: 1, neighbors: 2, directed_edges: 30 },
-            RankGraphStats { local_nodes: 20, halo_nodes: 3, neighbors: 4, directed_edges: 50 },
+            RankGraphStats {
+                local_nodes: 10,
+                halo_nodes: 1,
+                neighbors: 2,
+                directed_edges: 30,
+            },
+            RankGraphStats {
+                local_nodes: 20,
+                halo_nodes: 3,
+                neighbors: 4,
+                directed_edges: 50,
+            },
         ];
         let s = summarize(&stats);
         assert_eq!(s.local_nodes, (10, 20, 15.0));

@@ -38,9 +38,15 @@ impl BoxMesh {
         (lx, ly, lz): (f64, f64, f64),
         periodic: bool,
     ) -> Self {
-        assert!(ex > 0 && ey > 0 && ez > 0, "element counts must be positive");
+        assert!(
+            ex > 0 && ey > 0 && ez > 0,
+            "element counts must be positive"
+        );
         assert!(p >= 1, "polynomial order must be >= 1");
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box lengths must be positive");
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "box lengths must be positive"
+        );
         if periodic {
             // A periodic axis forms a node ring of p * e lattice points;
             // rings of fewer than 3 nodes would duplicate edges between the
@@ -55,7 +61,17 @@ impl BoxMesh {
                 "periodic axis needs a node ring of >= 3 (p * elements >= 3)"
             );
         }
-        BoxMesh { ex, ey, ez, p, lx, ly, lz, periodic, gll: GllRule::new(p) }
+        BoxMesh {
+            ex,
+            ey,
+            ez,
+            p,
+            lx,
+            ly,
+            lz,
+            periodic,
+            gll: GllRule::new(p),
+        }
     }
 
     /// Convenience: unit-spaced cube of `e^3` elements on `[0, 2*pi]^3`
@@ -119,7 +135,11 @@ impl BoxMesh {
         if self.periodic {
             (self.p * self.ex, self.p * self.ey, self.p * self.ez)
         } else {
-            (self.p * self.ex + 1, self.p * self.ey + 1, self.p * self.ez + 1)
+            (
+                self.p * self.ex + 1,
+                self.p * self.ey + 1,
+                self.p * self.ez + 1,
+            )
         }
     }
 
@@ -132,7 +152,11 @@ impl BoxMesh {
     /// Global node id of lattice coordinates (wrapping when periodic).
     pub fn gid_of_lattice(&self, (i, j, k): (usize, usize, usize)) -> u64 {
         let (nx, ny, nz) = self.lattice_dims();
-        let (i, j, k) = if self.periodic { (i % nx, j % ny, k % nz) } else { (i, j, k) };
+        let (i, j, k) = if self.periodic {
+            (i % nx, j % ny, k % nz)
+        } else {
+            (i, j, k)
+        };
         debug_assert!(i < nx && j < ny && k < nz);
         (i as u64) + (nx as u64) * ((j as u64) + (ny as u64) * (k as u64))
     }
@@ -193,9 +217,7 @@ impl BoxMesh {
     /// Iterate all `(a, b, c)` local lattice coordinates of an element.
     pub fn local_nodes(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let n = self.p + 1;
-        (0..n).flat_map(move |c| {
-            (0..n).flat_map(move |b| (0..n).map(move |a| (a, b, c)))
-        })
+        (0..n).flat_map(move |c| (0..n).flat_map(move |b| (0..n).map(move |a| (a, b, c))))
     }
 
     /// Linear index of a local lattice coordinate, `a + (p+1)(b + (p+1)c)`.
@@ -209,7 +231,7 @@ impl BoxMesh {
     /// element-boundary coordinates (coincident planes).
     fn axis_elems(&self, i: usize, n_elems: usize, out: &mut Vec<usize>) {
         out.clear();
-        if i % self.p == 0 {
+        if i.is_multiple_of(self.p) {
             let right = i / self.p;
             // Element to the left of the shared plane.
             if right > 0 {
@@ -303,7 +325,10 @@ mod tests {
         // Right face of e0 (a = p) coincides with left face of e1 (a = 0).
         for b in 0..=3 {
             for c in 0..=3 {
-                assert_eq!(m.elem_node_gid(e0, (3, b, c)), m.elem_node_gid(e1, (0, b, c)));
+                assert_eq!(
+                    m.elem_node_gid(e0, (3, b, c)),
+                    m.elem_node_gid(e1, (0, b, c))
+                );
             }
         }
     }
@@ -315,7 +340,10 @@ mod tests {
         let first = m.elem_id((0, 0, 0));
         for b in 0..=2 {
             for c in 0..=2 {
-                assert_eq!(m.elem_node_gid(last, (2, b, c)), m.elem_node_gid(first, (0, b, c)));
+                assert_eq!(
+                    m.elem_node_gid(last, (2, b, c)),
+                    m.elem_node_gid(first, (0, b, c))
+                );
             }
         }
     }
@@ -386,8 +414,9 @@ mod tests {
         // Sum over elements of (p+1)^3 = sum over gids of multiplicity.
         let m = BoxMesh::unit_cube(2, 3);
         let total = m.num_elements() * m.nodes_per_element();
-        let mult_sum: usize =
-            (0..m.num_global_nodes() as u64).map(|g| m.elements_of_node(g).len()).sum();
+        let mult_sum: usize = (0..m.num_global_nodes() as u64)
+            .map(|g| m.elements_of_node(g).len())
+            .sum();
         assert_eq!(total, mult_sum);
     }
 }

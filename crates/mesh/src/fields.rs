@@ -106,12 +106,12 @@ mod tests {
         let f = TaylorGreen::new(0.01);
         let h = 1e-5;
         for &(x, y, z) in &[(0.3, 1.1, 2.0), (4.0, 0.2, 5.5), (1.0, 1.0, 1.0)] {
-            let du = (f.velocity([x + h, y, z], 0.0)[0] - f.velocity([x - h, y, z], 0.0)[0])
-                / (2.0 * h);
-            let dv = (f.velocity([x, y + h, z], 0.0)[1] - f.velocity([x, y - h, z], 0.0)[1])
-                / (2.0 * h);
-            let dw = (f.velocity([x, y, z + h], 0.0)[2] - f.velocity([x, y, z - h], 0.0)[2])
-                / (2.0 * h);
+            let du =
+                (f.velocity([x + h, y, z], 0.0)[0] - f.velocity([x - h, y, z], 0.0)[0]) / (2.0 * h);
+            let dv =
+                (f.velocity([x, y + h, z], 0.0)[1] - f.velocity([x, y - h, z], 0.0)[1]) / (2.0 * h);
+            let dw =
+                (f.velocity([x, y, z + h], 0.0)[2] - f.velocity([x, y, z - h], 0.0)[2]) / (2.0 * h);
             assert!((du + dv + dw).abs() < 1e-8, "div = {}", du + dv + dw);
         }
     }

@@ -187,12 +187,20 @@ mod tests {
             let r = GllRule::new(p);
             let deg = 2 * p - 1;
             // integral of x^deg over [-1,1] = 0 (odd), x^(deg-1): 2/deg.
-            let int_odd: f64 =
-                r.nodes.iter().zip(&r.weights).map(|(&x, &w)| w * x.powi(deg as i32)).sum();
+            let int_odd: f64 = r
+                .nodes
+                .iter()
+                .zip(&r.weights)
+                .map(|(&x, &w)| w * x.powi(deg as i32))
+                .sum();
             assert!(int_odd.abs() < 1e-12, "p={p}");
             let d = (deg - 1) as i32;
-            let int_even: f64 =
-                r.nodes.iter().zip(&r.weights).map(|(&x, &w)| w * x.powi(d)).sum();
+            let int_even: f64 = r
+                .nodes
+                .iter()
+                .zip(&r.weights)
+                .map(|(&x, &w)| w * x.powi(d))
+                .sum();
             assert!((int_even - 2.0 / (d as f64 + 1.0)).abs() < 1e-12, "p={p}");
         }
     }

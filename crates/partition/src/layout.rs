@@ -44,7 +44,7 @@ impl Layout {
                 let bz = ez as f64 / rz as f64;
                 // Communicated faces per rank (ignore domain boundary).
                 let surf = bx * by + by * bz + bx * bz;
-                if best.map_or(true, |(s, _)| surf < s) {
+                if best.is_none_or(|(s, _)| surf < s) {
                     best = Some((surf, Layout::new(rx, ry, rz)));
                 }
             }
@@ -65,7 +65,11 @@ impl Layout {
     /// Grid cell of rank `r`.
     pub fn cell_of_rank(&self, r: usize) -> (usize, usize, usize) {
         debug_assert!(r < self.num_ranks());
-        (r % self.rx, (r / self.rx) % self.ry, r / (self.rx * self.ry))
+        (
+            r % self.rx,
+            (r / self.rx) % self.ry,
+            r / (self.rx * self.ry),
+        )
     }
 }
 
@@ -99,14 +103,14 @@ pub fn range_of(starts: &[usize], i: usize) -> usize {
 
 fn two_factor(r: usize) -> (usize, usize) {
     let mut a = (r as f64).sqrt() as usize;
-    while a > 1 && r % a != 0 {
+    while a > 1 && !r.is_multiple_of(a) {
         a -= 1;
     }
     (a.max(1), r / a.max(1))
 }
 
 fn divisors(n: usize) -> Vec<usize> {
-    (1..=n).filter(|d| n % d == 0).collect()
+    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
 }
 
 #[cfg(test)]

@@ -95,7 +95,12 @@ impl Partition {
         for (r, elems) in rank_elems.iter().enumerate() {
             assert!(!elems.is_empty(), "rank {r} received no elements");
         }
-        Partition { n_ranks, owner, rank_elems, structured }
+        Partition {
+            n_ranks,
+            owner,
+            rank_elems,
+            structured,
+        }
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -124,7 +129,10 @@ impl Partition {
     /// Load imbalance: max over ranks of (local elements / mean).
     pub fn imbalance(&self) -> f64 {
         let mean = self.owner.len() as f64 / self.n_ranks as f64;
-        self.rank_elems.iter().map(|e| e.len() as f64 / mean).fold(0.0, f64::max)
+        self.rank_elems
+            .iter()
+            .map(|e| e.len() as f64 / mean)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -148,7 +156,12 @@ mod tests {
     #[test]
     fn all_strategies_cover_all_elements() {
         let mesh = BoxMesh::unit_cube(4, 2);
-        for strategy in [Strategy::Slab, Strategy::Pencil, Strategy::Block, Strategy::Rcb] {
+        for strategy in [
+            Strategy::Slab,
+            Strategy::Pencil,
+            Strategy::Block,
+            Strategy::Rcb,
+        ] {
             for r in [1, 2, 4, 8] {
                 let part = Partition::new(&mesh, r, strategy);
                 check_invariants(&mesh, &part);
@@ -182,7 +195,11 @@ mod tests {
         for r in [3, 5, 7, 9] {
             let part = Partition::new(&mesh, r, Strategy::Rcb);
             check_invariants(&mesh, &part);
-            assert!(part.imbalance() < 1.35, "r={r} imbalance={}", part.imbalance());
+            assert!(
+                part.imbalance() < 1.35,
+                "r={r} imbalance={}",
+                part.imbalance()
+            );
         }
     }
 

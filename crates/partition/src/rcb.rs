@@ -25,7 +25,13 @@ pub fn rcb_partition(mesh: &BoxMesh, n_ranks: usize) -> Vec<u32> {
 /// Recursively split `ids` into `parts` groups, assigning ranks starting at
 /// `rank0`. Splits are proportional (`floor(parts/2) : ceil(parts/2)`) so
 /// odd rank counts stay balanced.
-fn bisect(centroids: &[[f64; 3]], ids: &mut [usize], rank0: usize, parts: usize, owner: &mut [u32]) {
+fn bisect(
+    centroids: &[[f64; 3]],
+    ids: &mut [usize],
+    rank0: usize,
+    parts: usize,
+    owner: &mut [u32],
+) {
     if parts == 1 {
         for &e in ids.iter() {
             owner[e] = rank0 as u32;
@@ -43,7 +49,9 @@ fn bisect(centroids: &[[f64; 3]], ids: &mut [usize], rank0: usize, parts: usize,
     }
     let axis = (0..3)
         .max_by(|&a, &b| {
-            (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).expect("finite extents")
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite extents")
         })
         .expect("three axes");
 
@@ -124,7 +132,11 @@ mod tests {
                             }
                         }
                     }
-                    assert_eq!(owners.len(), 1, "octant ({oi},{oj},{ok}) split across ranks");
+                    assert_eq!(
+                        owners.len(),
+                        1,
+                        "octant ({oi},{oj},{ok}) split across ranks"
+                    );
                 }
             }
         }

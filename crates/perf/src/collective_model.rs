@@ -28,10 +28,7 @@ pub fn all_reduce_time(machine: &MachineModel, ranks: usize, bytes: f64) -> f64 
             + 2.0 * (machine.ranks_per_node - 1) as f64 * machine.intra_latency;
         let inter = 2.0 * depth * machine.inter_latency
             + 2.0 * (n_nodes - 1) as f64 / n_nodes as f64 * bytes
-                / (machine.node_nic_bw / machine.contention.mul_add(
-                    (n_nodes as f64).log2(),
-                    1.0,
-                ));
+                / (machine.node_nic_bw / machine.contention.mul_add((n_nodes as f64).log2(), 1.0));
         intra + inter
     }
 }
@@ -49,7 +46,11 @@ pub fn dense_all_to_all_time(machine: &MachineModel, ranks: usize, buf_bytes: f6
     let intra_time = on_node_peers * (machine.msg_overhead + buf_bytes / machine.intra_bw);
     let inter_time = off_node_peers
         * (machine.msg_overhead + buf_bytes / machine.effective_inter_bw(n_nodes))
-        + if off_node_peers > 0.0 { machine.inter_latency } else { 0.0 };
+        + if off_node_peers > 0.0 {
+            machine.inter_latency
+        } else {
+            0.0
+        };
     intra_time + inter_time + machine.intra_latency
 }
 

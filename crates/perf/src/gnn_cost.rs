@@ -57,7 +57,10 @@ pub fn iteration_work(config: &GnnConfig, nodes: f64, edges: f64) -> RankWork {
     bytes += nodes * mlp_bytes_per_row(h, h, config.node_out, nh);
 
     // Forward + backward.
-    RankWork { flops: 3.0 * flops, bytes: 3.0 * bytes }
+    RankWork {
+        flops: 3.0 * flops,
+        bytes: 3.0 * bytes,
+    }
 }
 
 /// Compute time of one iteration on one rank (roofline additive).

@@ -40,9 +40,9 @@ impl MachineModel {
         MachineModel {
             name: "frontier".to_string(),
             ranks_per_node: 8,
-            rank_flops: 8.0e12,     // sustained FP32-equivalent for NMP kernels
-            rank_mem_bw: 1.2e12,    // sustained HBM
-            intra_bw: 40.0e9,       // Infinity Fabric effective per pair
+            rank_flops: 8.0e12,  // sustained FP32-equivalent for NMP kernels
+            rank_mem_bw: 1.2e12, // sustained HBM
+            intra_bw: 40.0e9,    // Infinity Fabric effective per pair
             intra_latency: 4.0e-6,
             node_nic_bw: 4.0 * 25.0e9,
             inter_latency: 12.0e-6,

@@ -31,13 +31,21 @@ pub struct Loading {
 impl Loading {
     /// ~512k local nodes: 16^3 elements at p=5 -> (5*16+1)^3 = 531k.
     pub fn nominal_512k() -> Self {
-        Loading { name: "512k".into(), block: 16, p: 5 }
+        Loading {
+            name: "512k".into(),
+            block: 16,
+            p: 5,
+        }
     }
 
     /// ~256k local nodes: 12^3 elements at p=5 -> 61^3 = 227k (the paper's
     /// "256k" class; blocks need not be perfect cubes there).
     pub fn nominal_256k() -> Self {
-        Loading { name: "256k".into(), block: 12, p: 5 }
+        Loading {
+            name: "256k".into(),
+            block: 12,
+            p: 5,
+        }
     }
 }
 
@@ -69,7 +77,11 @@ pub struct ScalingSeries {
 impl ScalingSeries {
     /// Weak-scaling efficiency [%] relative to the first point.
     pub fn efficiency(&self) -> Vec<f64> {
-        let base = self.points.first().map(|p| p.throughput / p.ranks as f64).unwrap_or(1.0);
+        let base = self
+            .points
+            .first()
+            .map(|p| p.throughput / p.ranks as f64)
+            .unwrap_or(1.0);
         self.points
             .iter()
             .map(|p| 100.0 * (p.throughput / p.ranks as f64) / base)
@@ -82,12 +94,12 @@ pub fn cubic_layout(r: usize) -> Layout {
     let mut best = Layout::new(1, 1, r);
     let mut best_score = usize::MAX;
     for rx in 1..=r {
-        if r % rx != 0 {
+        if !r.is_multiple_of(rx) {
             continue;
         }
         let rest = r / rx;
         for ry in 1..=rest {
-            if rest % ry != 0 {
+            if !rest.is_multiple_of(ry) {
                 continue;
             }
             let rz = rest / ry;
@@ -122,8 +134,8 @@ fn iteration_time(
     let grad_bytes = (param_count(config) * 8) as f64;
     // Three scalar all-reduces (two in the consistent loss forward, one in
     // its backward) plus the fused gradient all-reduce.
-    let t_ar = 3.0 * all_reduce_time(machine, ranks, 8.0)
-        + all_reduce_time(machine, ranks, grad_bytes);
+    let t_ar =
+        3.0 * all_reduce_time(machine, ranks, 8.0) + all_reduce_time(machine, ranks, grad_bytes);
 
     let mut worst = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for (rank, prof) in profiles.iter().enumerate() {
@@ -140,8 +152,7 @@ fn iteration_time(
                     * dense_all_to_all_time(machine, ranks, max_shared as f64 * bytes_per_shared)
             }
             HaloExchangeMode::NeighborAllToAll | HaloExchangeMode::SendRecv => {
-                exchanges
-                    * neighbor_all_to_all_time(machine, rank, ranks, prof, bytes_per_shared)
+                exchanges * neighbor_all_to_all_time(machine, rank, ranks, prof, bytes_per_shared)
             }
         };
         let total = t_c + t_h + t_ar;
@@ -173,8 +184,7 @@ pub fn weak_scaling_series(
             );
             let mesh = BoxMesh::new(dims, loading.p, (1.0, 1.0, 1.0), true);
             let profiles = analytic_block_profiles(&mesh, &layout);
-            let total_nodes: f64 =
-                profiles.iter().map(|p| p.stats.local_nodes as f64).sum();
+            let total_nodes: f64 = profiles.iter().map(|p| p.stats.local_nodes as f64).sum();
             let (t, t_c, t_h, t_ar) = iteration_time(machine, config, mode, r, &profiles);
             ScalingPoint {
                 ranks: r,
@@ -207,7 +217,9 @@ pub fn paper_sweep(machine: &MachineModel) -> Vec<ScalingSeries> {
                 HaloExchangeMode::AllToAll,
                 HaloExchangeMode::NeighborAllToAll,
             ] {
-                out.push(weak_scaling_series(machine, name, &config, &loading, mode, &ranks));
+                out.push(weak_scaling_series(
+                    machine, name, &config, &loading, mode, &ranks,
+                ));
             }
         }
     }
@@ -258,7 +270,10 @@ mod tests {
         let n8 = s.points[0].total_nodes;
         let n2048 = s.points[1].total_nodes;
         assert!((n8 - 4.15e6).abs() / 4.15e6 < 0.05, "n8 = {n8:e}");
-        assert!((n2048 - 1.105e9).abs() / 1.105e9 < 0.05, "n2048 = {n2048:e}");
+        assert!(
+            (n2048 - 1.105e9).abs() / 1.105e9 < 0.05,
+            "n2048 = {n2048:e}"
+        );
     }
 
     #[test]
@@ -292,12 +307,28 @@ mod tests {
         let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect();
         let config = GnnConfig::large();
         let loading = Loading::nominal_512k();
-        let base = weak_scaling_series(&m, "large", &config, &loading, HaloExchangeMode::None, &ranks);
-        let a2a =
-            weak_scaling_series(&m, "large", &config, &loading, HaloExchangeMode::AllToAll, &ranks);
+        let base = weak_scaling_series(
+            &m,
+            "large",
+            &config,
+            &loading,
+            HaloExchangeMode::None,
+            &ranks,
+        );
+        let a2a = weak_scaling_series(
+            &m,
+            "large",
+            &config,
+            &loading,
+            HaloExchangeMode::AllToAll,
+            &ranks,
+        );
         let rel = relative_throughput(&a2a, &base);
         assert!(rel[0] > 0.5, "A2A at 8 ranks should be tolerable: {rel:?}");
-        assert!(rel.last().unwrap() < &0.3, "A2A at 2048 ranks should collapse: {rel:?}");
+        assert!(
+            rel.last().unwrap() < &0.3,
+            "A2A at 2048 ranks should collapse: {rel:?}"
+        );
     }
 
     #[test]
@@ -308,7 +339,14 @@ mod tests {
         let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect();
         let config = GnnConfig::large();
         let loading = Loading::nominal_512k();
-        let base = weak_scaling_series(&m, "large", &config, &loading, HaloExchangeMode::None, &ranks);
+        let base = weak_scaling_series(
+            &m,
+            "large",
+            &config,
+            &loading,
+            HaloExchangeMode::None,
+            &ranks,
+        );
         let na2a = weak_scaling_series(
             &m,
             "large",
@@ -320,7 +358,11 @@ mod tests {
         let rel = relative_throughput(&na2a, &base);
         for (i, &r) in ranks.iter().enumerate() {
             if r <= 1024 {
-                assert!(rel[i] > 0.85, "N-A2A relative throughput at {r}: {}", rel[i]);
+                assert!(
+                    rel[i] > 0.85,
+                    "N-A2A relative throughput at {r}: {}",
+                    rel[i]
+                );
             }
         }
         assert!(rel.iter().all(|&x| x <= 1.0 + 1e-9));
@@ -333,14 +375,24 @@ mod tests {
         let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect();
         let config = GnnConfig::small();
         let eff_of = |loading: Loading| {
-            weak_scaling_series(&m, "s", &config, &loading, HaloExchangeMode::NeighborAllToAll, &ranks)
-                .efficiency()
-                .last()
-                .copied()
-                .unwrap()
+            weak_scaling_series(
+                &m,
+                "s",
+                &config,
+                &loading,
+                HaloExchangeMode::NeighborAllToAll,
+                &ranks,
+            )
+            .efficiency()
+            .last()
+            .copied()
+            .unwrap()
         };
         let e512 = eff_of(Loading::nominal_512k());
         let e256 = eff_of(Loading::nominal_256k());
-        assert!(e256 < e512, "256k eff {e256} should be below 512k eff {e512}");
+        assert!(
+            e256 < e512,
+            "256k eff {e256} should be below 512k eff {e512}"
+        );
     }
 }

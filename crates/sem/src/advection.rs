@@ -29,13 +29,17 @@ pub struct AdvectionDiffusionSolver {
 
 impl AdvectionDiffusionSolver {
     pub fn new(mesh: &BoxMesh, nu: f64, c: [f64; 3]) -> Self {
-        assert!(mesh.is_periodic(), "advection test problem assumes a periodic box");
+        assert!(
+            mesh.is_periodic(),
+            "advection test problem assumes a periodic box"
+        );
         let ops = ElementOps::new(mesh);
         let gs = GatherScatter::new(mesh);
         let n3 = mesh.nodes_per_element();
         let local_mass = ops.local_mass();
-        let all_local: Vec<f64> =
-            (0..mesh.num_elements()).flat_map(|_| local_mass.iter().copied()).collect();
+        let all_local: Vec<f64> = (0..mesh.num_elements())
+            .flat_map(|_| local_mass.iter().copied())
+            .collect();
         let mass = gs.assemble_diagonal(&all_local);
         let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
         let multiplicity = gs.gather_sum(&vec![1.0; gs.slot_gid.len()]);
@@ -177,8 +181,9 @@ mod tests {
         let tau = 2.0 * std::f64::consts::PI;
         let mesh = BoxMesh::new((3, 3, 2), 3, (tau, tau, tau), true);
         let solver = AdvectionDiffusionSolver::new(&mesh, 0.0, [0.7, -0.3, 0.1]);
-        let mut u: Vec<f64> =
-            (0..solver.n_dofs()).map(|i| 1.0 + 0.3 * ((i as f64) * 0.11).sin()).collect();
+        let mut u: Vec<f64> = (0..solver.n_dofs())
+            .map(|i| 1.0 + 0.3 * ((i as f64) * 0.11).sin())
+            .collect();
         let mean0: f64 = u.iter().sum::<f64>();
         for _ in 0..20 {
             solver.rk4_step(&mut u, 1e-3);

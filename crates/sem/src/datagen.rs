@@ -40,7 +40,12 @@ impl SnapshotPair {
             solver.integrate(&input[1], dt, steps),
             solver.integrate(&input[2], dt, steps),
         ];
-        SnapshotPair { input, target, solver, mesh_nodes: mesh.num_global_nodes() as u64 }
+        SnapshotPair {
+            input,
+            target,
+            solver,
+            mesh_nodes: mesh.num_global_nodes() as u64,
+        }
     }
 
     /// Total simulated nodes.
@@ -81,9 +86,8 @@ mod tests {
     fn snapshot_pair_decays() {
         let mesh = BoxMesh::tgv_cube(2, 3);
         let pair = SnapshotPair::tgv_diffusion(&mesh, 0.5, 1e-4, 50);
-        let energy = |s: &[Vec<f64>; 3]| -> f64 {
-            s.iter().flat_map(|c| c.iter()).map(|v| v * v).sum()
-        };
+        let energy =
+            |s: &[Vec<f64>; 3]| -> f64 { s.iter().flat_map(|c| c.iter()).map(|v| v * v).sum() };
         assert!(energy(&pair.target) < energy(&pair.input));
         assert!(energy(&pair.target) > 0.0);
     }

@@ -37,7 +37,11 @@ impl GatherScatter {
         let mut gids = slot_gid.clone();
         gids.sort_unstable();
         gids.dedup();
-        GatherScatter { slot_gid, n_global: gids.len(), gids }
+        GatherScatter {
+            slot_gid,
+            n_global: gids.len(),
+            gids,
+        }
     }
 
     /// Dense row index of a gid.
@@ -59,7 +63,10 @@ impl GatherScatter {
     /// Copy a global vector out to every element-local slot (`Q`).
     pub fn scatter(&self, global: &[f64]) -> Vec<f64> {
         assert_eq!(global.len(), self.n_global);
-        self.slot_gid.iter().map(|&gid| global[self.row_of(gid)]).collect()
+        self.slot_gid
+            .iter()
+            .map(|&gid| global[self.row_of(gid)])
+            .collect()
     }
 
     /// Direct stiffness summation `QQ^T`: replace each local copy by the sum
@@ -153,13 +160,20 @@ mod tests {
 
         let results = World::run(4, |comm| {
             let g = &graphs[comm.rank()];
-            let mut v: Vec<f64> = g.gids.iter().map(|&gid| value_of(comm.rank(), gid)).collect();
+            let mut v: Vec<f64> = g
+                .gids
+                .iter()
+                .map(|&gid| value_of(comm.rank(), gid))
+                .collect();
             distributed_dssum(&mut v, g, comm);
             (g.gids.clone(), v)
         });
         for (gids, v) in &results {
             for (i, &gid) in gids.iter().enumerate() {
-                let copies = graphs.iter().filter(|g| g.local_of_gid(gid).is_some()).count();
+                let copies = graphs
+                    .iter()
+                    .filter(|g| g.local_of_gid(gid).is_some())
+                    .count();
                 let expect = if copies > 1 {
                     reference[&gid]
                 } else {

@@ -240,8 +240,12 @@ mod tests {
         let n3 = ops.n * ops.n * ops.n;
         let mut scratch = vec![0.0; n3];
         // <K u, v> == <u, K v> and <K u, u> >= 0 for a few random-ish vectors.
-        let u: Vec<f64> = (0..n3).map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0).collect();
-        let v: Vec<f64> = (0..n3).map(|i| ((i * 53 % 23) as f64 - 11.0) / 11.0).collect();
+        let u: Vec<f64> = (0..n3)
+            .map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0)
+            .collect();
+        let v: Vec<f64> = (0..n3)
+            .map(|i| ((i * 53 % 23) as f64 - 11.0) / 11.0)
+            .collect();
         let mut ku = vec![0.0; n3];
         let mut kv = vec![0.0; n3];
         ops.apply_stiffness(&u, &mut ku, &mut scratch);

@@ -35,7 +35,14 @@ impl DiffusionSolver {
             .collect();
         let mass = gs.assemble_diagonal(&all_local);
         let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
-        DiffusionSolver { mesh_elems: mesh.num_elements(), n3, ops, gs, inv_mass, nu }
+        DiffusionSolver {
+            mesh_elems: mesh.num_elements(),
+            n3,
+            ops,
+            gs,
+            inv_mass,
+            nu,
+        }
     }
 
     /// Number of unique global nodes (state vector length).
@@ -142,7 +149,9 @@ mod tests {
         let tau = 2.0 * std::f64::consts::PI;
         let mesh = BoxMesh::new((3, 3, 3), 3, (tau, tau, tau), true);
         let solver = DiffusionSolver::new(&mesh, 0.2);
-        let mut u: Vec<f64> = (0..solver.n_dofs()).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let mut u: Vec<f64> = (0..solver.n_dofs())
+            .map(|i| ((i * 7919) % 13) as f64 - 6.0)
+            .collect();
         // Remove the mean so the invariant state is zero.
         let mean = u.iter().sum::<f64>() / u.len() as f64;
         for v in &mut u {
@@ -152,7 +161,10 @@ mod tests {
         for _ in 0..5 {
             solver.rk4_step(&mut u, 1e-5);
             let energy: f64 = u.iter().map(|v| v * v).sum();
-            assert!(energy <= prev * (1.0 + 1e-12), "energy grew: {energy} > {prev}");
+            assert!(
+                energy <= prev * (1.0 + 1e-12),
+                "energy grew: {energy} > {prev}"
+            );
             prev = energy;
         }
     }

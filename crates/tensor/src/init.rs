@@ -60,7 +60,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = normal(100, 100, 2.0, &mut rng);
         let mean = t.sum() / t.len() as f64;
-        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

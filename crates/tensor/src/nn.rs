@@ -132,7 +132,12 @@ impl Linear {
     ) -> Self {
         let w = params.register(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
         let b = params.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
@@ -182,9 +187,21 @@ impl Mlp {
         rng: &mut impl Rng,
     ) -> Self {
         let mut layers = Vec::with_capacity(n_hidden + 2);
-        layers.push(Linear::new(params, &format!("{name}.lin0"), in_dim, hidden, rng));
+        layers.push(Linear::new(
+            params,
+            &format!("{name}.lin0"),
+            in_dim,
+            hidden,
+            rng,
+        ));
         for i in 0..n_hidden {
-            layers.push(Linear::new(params, &format!("{name}.lin{}", i + 1), hidden, hidden, rng));
+            layers.push(Linear::new(
+                params,
+                &format!("{name}.lin{}", i + 1),
+                hidden,
+                hidden,
+                rng,
+            ));
         }
         layers.push(Linear::new(
             params,
@@ -198,7 +215,13 @@ impl Mlp {
             let beta = params.register(format!("{name}.ln.beta"), Tensor::zeros(1, out_dim));
             (gamma, beta)
         });
-        Mlp { layers, layer_norm: ln, activation: Activation::Elu, in_dim, out_dim }
+        Mlp {
+            layers,
+            layer_norm: ln,
+            activation: Activation::Elu,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn with_activation(mut self, act: Activation) -> Self {
@@ -226,7 +249,11 @@ impl Mlp {
 
     pub fn num_scalars(&self) -> usize {
         let lin: usize = self.layers.iter().map(Linear::num_scalars).sum();
-        lin + if self.layer_norm.is_some() { 2 * self.out_dim } else { 0 }
+        lin + if self.layer_norm.is_some() {
+            2 * self.out_dim
+        } else {
+            0
+        }
     }
 }
 
@@ -256,7 +283,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mlp = Mlp::new(&mut params, "m", 7, 8, 8, 2, true, &mut rng);
         // 8*(7+1) + 2*(8*9) + 8*9 + 2*8 = 64 + 144 + 72 + 16
-        assert_eq!(mlp.num_scalars(), 8 * 7 + 8 + 2 * (8 * 8 + 8) + (8 * 8 + 8) + 16);
+        assert_eq!(
+            mlp.num_scalars(),
+            8 * 7 + 8 + 2 * (8 * 8 + 8) + (8 * 8 + 8) + 16
+        );
         assert_eq!(params.num_scalars(), mlp.num_scalars());
     }
 

@@ -16,14 +16,21 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f64, momentum: f64) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update; `grads[i]` must match `params.tensors()[i]`.
     pub fn step(&mut self, params: &mut ParamSet, grads: &[Tensor]) {
         assert_eq!(grads.len(), params.len(), "sgd grad count mismatch");
         if self.velocity.is_empty() && self.momentum != 0.0 {
-            self.velocity = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+            self.velocity = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.rows(), g.cols()))
+                .collect();
         }
         for (i, t) in params.tensors_mut().iter_mut().enumerate() {
             if self.momentum != 0.0 {
@@ -52,14 +59,28 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     pub fn step(&mut self, params: &mut ParamSet, grads: &[Tensor]) {
         assert_eq!(grads.len(), params.len(), "adam grad count mismatch");
         if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
-            self.v = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+            self.m = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.rows(), g.cols()))
+                .collect();
+            self.v = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.rows(), g.cols()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -91,7 +112,7 @@ mod tests {
 
     fn quadratic_grads(params: &ParamSet) -> Vec<Tensor> {
         // f = 0.5 * |theta|^2 -> grad = theta
-        params.tensors().iter().cloned().collect()
+        params.tensors().to_vec()
     }
 
     #[test]

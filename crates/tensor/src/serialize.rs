@@ -40,7 +40,10 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a cgnn checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a cgnn checkpoint",
+        ));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
@@ -55,8 +58,8 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
         let name_len = read_u32(&mut r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let rows = read_u64(&mut r)? as usize;
         let cols = read_u64(&mut r)? as usize;
         let mut data = Vec::with_capacity(rows * cols);
@@ -89,13 +92,16 @@ pub fn restore_into(target: &mut ParamSet, source: &ParamSet) -> io::Result<()> 
     if target.len() != source.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("parameter count mismatch: {} vs {}", target.len(), source.len()),
+            format!(
+                "parameter count mismatch: {} vs {}",
+                target.len(),
+                source.len()
+            ),
         ));
     }
     for i in 0..target.len() {
         let id = crate::nn::ParamId(i);
-        if target.name(id) != source.name(id) || target.get(id).shape() != source.get(id).shape()
-        {
+        if target.name(id) != source.name(id) || target.get(id).shape() != source.get(id).shape() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(

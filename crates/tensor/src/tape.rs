@@ -57,13 +57,21 @@ pub(crate) enum Op {
     /// tanh activation.
     Tanh(VarId),
     /// Row-wise layer normalization with learned gain/bias.
-    LayerNorm { x: VarId, gamma: VarId, beta: VarId, eps: f64 },
+    LayerNorm {
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f64,
+    },
     /// `c = sum_i w[i] * sum_j A[i,j]^2` (scalar); weights constant.
     WeightedSqSum(VarId, Arc<Vec<f64>>),
     /// `c = sum_ij A[i,j]` (scalar).
     Sum(VarId),
     /// User-defined op (e.g. halo exchange, all-reduce).
-    Custom { inputs: Vec<VarId>, op: Box<dyn CustomOp> },
+    Custom {
+        inputs: Vec<VarId>,
+        op: Box<dyn CustomOp>,
+    },
 }
 
 pub(crate) struct Node {
@@ -259,7 +267,15 @@ impl Tape {
                 out[c] = g.data()[c] * (xr[c] - mean) * inv + b.data()[c];
             }
         }
-        self.push(v, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            v,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     /// Scalar `sum_i w[i] * sum_j a[i,j]^2` with constant row weights — the
@@ -292,12 +308,18 @@ impl Tape {
     /// The adjoint of `root` is seeded with 1. Returns gradients for every
     /// participating variable (leaves included).
     pub fn backward(&self, root: VarId) -> Gradients {
-        assert_eq!(self.value(root).shape(), (1, 1), "backward root must be a scalar");
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be a scalar"
+        );
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[root.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(grad_out) = grads[i].take() else { continue };
+            let Some(grad_out) = grads[i].take() else {
+                continue;
+            };
             // Re-insert so callers can read gradients of interior nodes too.
             let node = &self.nodes[i];
             self.accumulate(&mut grads, node, &grad_out);
@@ -307,11 +329,9 @@ impl Tape {
     }
 
     fn accumulate(&self, grads: &mut [Option<Tensor>], node: &Node, g: &Tensor) {
-        let mut add = |id: VarId, contrib: Tensor| {
-            match &mut grads[id.0] {
-                Some(acc) => acc.add_assign(&contrib),
-                slot @ None => *slot = Some(contrib),
-            }
+        let mut add = |id: VarId, contrib: Tensor| match &mut grads[id.0] {
+            Some(acc) => acc.add_assign(&contrib),
+            slot @ None => *slot = Some(contrib),
         };
         match &node.op {
             Op::Leaf => {}
@@ -390,7 +410,12 @@ impl Tape {
                 }
                 add(*a, ga);
             }
-            Op::LayerNorm { x, gamma, beta, eps } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let vx = self.value(*x);
                 let vg = self.value(*gamma);
                 let (rows, cols) = vx.shape();

@@ -28,12 +28,20 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// Zero-filled `rows x cols` tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { data: vec![0.0; rows * cols], rows, cols }
+        Tensor {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Tensor filled with a constant value.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Tensor { data: vec![value; rows * cols], rows, cols }
+        Tensor {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
@@ -51,7 +59,11 @@ impl Tensor {
 
     /// 1x1 scalar tensor.
     pub fn scalar(value: f64) -> Self {
-        Tensor { data: vec![value], rows: 1, cols: 1 }
+        Tensor {
+            data: vec![value],
+            rows: 1,
+            cols: 1,
+        }
     }
 
     /// Build row-by-row from a function of `(row, col)`.
@@ -198,7 +210,11 @@ impl Tensor {
                 }
             }
         }
-        Tensor { data: out, rows: m, cols: n }
+        Tensor {
+            data: out,
+            rows: m,
+            cols: n,
+        }
     }
 
     /// `self * rhs^T` (`[m,k] x [n,k] -> [m,n]`), without materializing the
@@ -223,7 +239,11 @@ impl Tensor {
                 *o = acc;
             }
         }
-        Tensor { data: out, rows: m, cols: n }
+        Tensor {
+            data: out,
+            rows: m,
+            cols: n,
+        }
     }
 
     /// `self^T * rhs` (`[k,m]^T x [k,n] -> [m,n]`), without materializing the
@@ -246,7 +266,11 @@ impl Tensor {
                 }
             }
         }
-        Tensor { data: out, rows: m, cols: n }
+        Tensor {
+            data: out,
+            rows: m,
+            cols: n,
+        }
     }
 
     /// Explicit transpose (rarely needed; backward passes use the fused
@@ -285,7 +309,11 @@ impl Tensor {
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(idx.len(), self.cols);
         for (i, &src) in idx.iter().enumerate() {
-            debug_assert!(src < self.rows, "gather index {src} out of {} rows", self.rows);
+            debug_assert!(
+                src < self.rows,
+                "gather index {src} out of {} rows",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(src));
         }
         out

@@ -16,8 +16,7 @@ use cgnn::core::{
     consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode,
 };
 use cgnn::graph::{
-    build_distributed_graph, build_global_graph, edge_features, node_velocity_features,
-    LocalGraph,
+    build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph,
 };
 use cgnn::mesh::{BoxMesh, TaylorGreen};
 use cgnn::partition::{Partition, Strategy};
@@ -42,10 +41,17 @@ fn eval_loss(g: &Arc<LocalGraph>, ctx: &HaloContext, field: &TaylorGreen) -> f64
 fn main() {
     // Paper: cubic domain of 32^3 elements at p = 1; we default to 12^3 to
     // stay fast on laptops (set CGNN_ELEMS=32 for the full-size run).
-    let elems: usize = std::env::var("CGNN_ELEMS").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let elems: usize = std::env::var("CGNN_ELEMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let mesh = BoxMesh::new((elems, elems, elems), 1, (1.0, 1.0, 1.0), false);
     let field = TaylorGreen::new(0.01);
-    println!("mesh: {}^3 elements, {} unique nodes\n", elems, mesh.num_global_nodes());
+    println!(
+        "mesh: {}^3 elements, {} unique nodes\n",
+        elems,
+        mesh.num_global_nodes()
+    );
 
     let global = Arc::new(build_global_graph(&mesh));
     let g1 = Arc::clone(&global);
@@ -54,7 +60,10 @@ fn main() {
         eval_loss(&g1, &ctx, &field)
     })[0];
     println!("R = 1 reference loss: {reference:.12e}\n");
-    println!("{:>5} {:>18} {:>18} {:>14} {:>14}", "R", "standard", "consistent", "std rel-err", "cons rel-err");
+    println!(
+        "{:>5} {:>18} {:>18} {:>14} {:>14}",
+        "R", "standard", "consistent", "std rel-err", "cons rel-err"
+    );
 
     for r in [2usize, 4, 8, 16, 32] {
         if mesh.num_elements() < r {
@@ -62,7 +71,10 @@ fn main() {
         }
         let part = Partition::new(&mesh, r, Strategy::Block);
         let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let mut losses = [0.0f64; 2];
         for (k, mode) in [HaloExchangeMode::None, HaloExchangeMode::NeighborAllToAll]

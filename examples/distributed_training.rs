@@ -24,11 +24,16 @@ const SEED: u64 = 17;
 const LR: f64 = 1e-3;
 
 fn main() {
-    let iters: usize =
-        std::env::var("CGNN_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let iters: usize = std::env::var("CGNN_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     let mesh = BoxMesh::new((6, 6, 6), 2, (1.0, 1.0, 1.0), false);
     let field = TaylorGreen::new(0.01);
-    println!("mesh: 6^3 elements p=2, {} unique nodes; {iters} iterations\n", mesh.num_global_nodes());
+    println!(
+        "mesh: 6^3 elements p=2, {} unique nodes; {iters} iterations\n",
+        mesh.num_global_nodes()
+    );
 
     // Target: R = 1.
     let global = Arc::new(build_global_graph(&mesh));
@@ -43,8 +48,12 @@ fn main() {
 
     // R = 8, consistent and standard.
     let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let mut curves = Vec::new();
     for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None] {
         let graphs = Arc::clone(&graphs);

@@ -18,8 +18,12 @@ use cgnn::partition::{Partition, Strategy};
 fn main() {
     let mesh = BoxMesh::new((8, 8, 8), 2, (1.0, 1.0, 1.0), false);
     let part = Partition::new(&mesh, 8, Strategy::Slab);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let field = TaylorGreen::new(0.01);
 
     println!(

@@ -26,7 +26,11 @@ fn main() {
     // 2. The mesh-based graph: GLL quadrature points become nodes, lattice
     //    links become edges, coincident nodes are collapsed.
     let graph = Arc::new(build_global_graph(&mesh));
-    println!("graph: {} nodes, {} directed edges", graph.n_local(), graph.n_edges());
+    println!(
+        "graph: {} nodes, {} directed edges",
+        graph.n_local(),
+        graph.n_edges()
+    );
 
     // 3. Node features: the Taylor-Green vortex velocity at t = 0.
     let field = TaylorGreen::new(0.01);
@@ -36,7 +40,10 @@ fn main() {
     let history = World::run(1, |comm| {
         let ctx = HaloContext::single(comm.clone());
         let mut trainer = Trainer::new(GnnConfig::small(), 42, 1e-3, ctx);
-        println!("model: {} trainable parameters", trainer.model.num_scalars());
+        println!(
+            "model: {} trainable parameters",
+            trainer.model.num_scalars()
+        );
         let data = RankData::tgv_autoencode(Arc::clone(&graph), &field, 0.0);
         trainer.train(&data, 100)
     })

@@ -11,7 +11,10 @@ use cgnn::perf::{paper_sweep, relative_throughput, MachineModel};
 
 fn main() {
     let machine = MachineModel::frontier();
-    println!("machine model: {} ({} ranks/node)\n", machine.name, machine.ranks_per_node);
+    println!(
+        "machine model: {} ({} ranks/node)\n",
+        machine.name, machine.ranks_per_node
+    );
     let series = paper_sweep(&machine);
 
     for loading in ["512k", "256k"] {
@@ -60,9 +63,7 @@ fn main() {
         let eff = series.efficiency();
         println!(
             "{:<10} {:>12.3e} nodes/s at 2048 ranks, efficiency {:>5.1}%",
-            machine.name,
-            series.points[1].throughput,
-            eff[1]
+            machine.name, series.points[1].throughput, eff[1]
         );
     }
 }

@@ -20,18 +20,27 @@ use cgnn::sem::SnapshotPair;
 fn main() {
     // 1. "NekRS": diffuse the TGV velocity field on a 3^3-element p=4 box.
     let mesh = BoxMesh::tgv_cube(3, 4);
-    println!("generating data: diffusing TGV on {} nodes...", mesh.num_global_nodes());
+    println!(
+        "generating data: diffusing TGV on {} nodes...",
+        mesh.num_global_nodes()
+    );
     let pair = Arc::new(SnapshotPair::tgv_diffusion(&mesh, 0.5, 5e-4, 100));
 
     // 2. Partition the mesh the same way the solver would.
     let ranks = 4;
     let part = Partition::new(&mesh, ranks, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
 
     // 3. Train the forecasting GNN on R = 4 thread-ranks.
-    let iters: usize =
-        std::env::var("CGNN_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(150);
+    let iters: usize = std::env::var("CGNN_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let results = World::run(ranks, {
         let graphs = Arc::clone(&graphs);
         let pair = Arc::clone(&pair);

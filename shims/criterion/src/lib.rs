@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`: the group/bench_function/iter API
+//! shape backed by a simple median-of-samples timer. `cargo bench` prints
+//! per-benchmark timing (median ns/iter plus derived throughput); there is
+//! no statistical analysis, plotting, or baseline comparison. Vendored
+//! because the build environment has no reachable crates registry.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks of a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier (name, or name/parameter pair).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mut samples = b.samples.clone();
+        if samples.is_empty() {
+            println!("{}/{}: no samples", self.name, id.id);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let per_iter_ns = median.as_secs_f64() * 1e9;
+        let rate = |count: u64| {
+            let per_sec = count as f64 / median.as_secs_f64().max(1e-12);
+            format!("{per_sec:.3e}")
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "{}/{}: {per_iter_ns:.0} ns/iter ({} elem/s)",
+                self.name,
+                id.id,
+                rate(n)
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "{}/{}: {per_iter_ns:.0} ns/iter ({} B/s)",
+                self.name,
+                id.id,
+                rate(n)
+            ),
+            None => println!("{}/{}: {per_iter_ns:.0} ns/iter", self.name, id.id),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+/// Cap on total measurement time per benchmark, so `cargo bench` with the
+/// shim stays interactive even for slow bodies.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + single-shot calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let budget = TIME_BUDGET.saturating_sub(once);
+        let max_samples = if once.is_zero() {
+            64
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).min(64) as usize
+        };
+        self.samples.push(once);
+        for _ in 0..max_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Criterion's escape hatch for self-timed bodies: the closure runs
+    /// `iters` iterations and returns the measured wall time; the sample
+    /// recorded is the per-iteration average.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let once = f(1);
+        self.samples.push(once);
+        let budget = TIME_BUDGET.saturating_sub(once);
+        let max_samples = if once.is_zero() {
+            16
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).min(16) as usize
+        };
+        for _ in 0..max_samples {
+            self.samples.push(f(1));
+        }
+    }
+}
+
+/// Expands to a function running each target against one shared
+/// [`Criterion`] instance (configuration form accepted and ignored).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Expands to `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .throughput(Throughput::Elements(10))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

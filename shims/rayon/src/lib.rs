@@ -1,0 +1,125 @@
+//! Offline stand-in for `rayon`: the `into_par_iter().map(f).collect()`
+//! shape the workspace uses, executed with real data parallelism on
+//! `std::thread::scope`. Items are split into contiguous chunks, one per
+//! available core, and results are reassembled in order, so output ordering
+//! matches rayon's. Vendored because the build environment has no
+//! reachable crates registry; only the adaptor surface the workspace
+//! exercises is implemented.
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a "parallel iterator" (shim: an eager item vector).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Eagerly materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A mapped parallel iterator; `collect` runs the map across threads.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Chunked fork-join map preserving input order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut source = items;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    while !source.is_empty() {
+        let rest = source.split_off(chunk.min(source.len()));
+        chunks.push(std::mem::replace(&mut source, rest));
+    }
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn vec_collect_identity() {
+        let v: Vec<u8> = vec![3, 1, 2].into_par_iter().collect();
+        assert_eq!(v, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for plain structs with named fields, written
+//! directly against `proc_macro` (no `syn`/`quote` — the build environment
+//! has no reachable crates registry). The generated impls target the
+//! value-tree traits of the shimmed `serde` crate.
+//!
+//! Supported input shape: non-generic `struct Name { field: Type, ... }`
+//! with arbitrary attributes/doc comments and visibility modifiers.
+//! Anything else (enums, tuple structs, generics) produces a compile error
+//! naming this shim, so unsupported uses fail loudly rather than subtly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `struct Name { ... }`, skipping attributes and visibility.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]` pairs) and visibility / modifiers
+    // until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            // `pub`, `pub(crate)` group, etc.
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no `struct` keyword found")?;
+    // Next significant token must be the brace group of named fields; a
+    // `<` here means generics, which the shim does not support.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde_derive shim: generic struct `{name}` is not supported"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde_derive shim: tuple struct `{name}` is not supported"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("struct `{name}` has no body")),
+        }
+    };
+    // Split the body on top-level commas (token-tree groups already nest
+    // parens/brackets/braces; angle brackets need manual depth tracking).
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut current: Vec<TokenTree> = Vec::new();
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    fields.push(field_name(&current)?);
+                    current.clear();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        fields.push(field_name(&current)?);
+    }
+    Ok(StructShape { name, fields })
+}
+
+/// Extract the field identifier from one `attrs vis name : Type` run.
+fn field_name(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr + group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // optional `(crate)` restriction group
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Must be followed by `:`.
+                return match tokens.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => Ok(id.to_string()),
+                    _ => Err(format!("field `{id}` not followed by `:`")),
+                };
+            }
+            other => return Err(format!("unexpected token in field position: {other:?}")),
+        }
+    }
+    Err("empty field declaration".to_string())
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut entries = String::new();
+    for f in &shape.fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize_value(\
+                 value.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::missing_field(\"{name}\", \"{f}\"))?\
+             )?,",
+            name = shape.name,
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for `serde_json`: renders the shimmed `serde` value
+//! tree ([`Value`]) to JSON text and provides a [`json!`] macro covering
+//! the literal/array/object subset this workspace uses. Vendored because
+//! the build environment has no reachable crates registry.
+
+use std::fmt::Write as _;
+
+pub use serde::{Error, Value};
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-readable two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree (used by `json!`).
+pub fn to_value<T: serde::Serialize>(value: T) -> Value {
+    value.serialize_value()
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            '[',
+            ']',
+            write_value,
+        ),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, val), ind, d| {
+                write_json_string(o, k);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, d);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+/// JSON number formatting: finite floats render losslessly via Rust's
+/// shortest-roundtrip formatter; non-finite values become null (matching
+/// serde_json's lossy default).
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-like syntax with embedded expressions —
+/// the standard `serde_json::json!` recursive muncher, restricted to the
+/// forms this workspace uses (literals, arrays, objects with string-literal
+/// keys, arbitrary serializable expressions in value position).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal_array!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_internal_object!([] () $($tt)*)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array muncher: accumulates `json!`-converted elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // Done.
+    ([ $($elem:expr,)* ]) => { vec![$($elem,)*] };
+    // Next element is a nested array.
+    ([ $($elem:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    // Next element is a nested object.
+    ([ $($elem:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    // `null` is not a Rust expression; match it before the expr arm.
+    ([ $($elem:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    // Next element is an expression (consumes up to the next top-level comma).
+    ([ $($elem:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elem,)* $crate::json!($next), ] $($($rest)*)?)
+    };
+}
+
+/// Object muncher: `[done fields] (pending key) rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done.
+    ([ $($out:expr,)* ] ()) => { vec![$($out,)*] };
+    // Key arrives.
+    ([ $($out:expr,)* ] () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal_object!([ $($out,)* ] ($key) $($rest)*)
+    };
+    // Value is a nested object.
+    ([ $($out:expr,)* ] ($key:literal) { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($out,)* ($key.to_string(), $crate::json!({ $($inner)* })), ] () $($($rest)*)?
+        )
+    };
+    // Value is a nested array.
+    ([ $($out:expr,)* ] ($key:literal) [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($out,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ] () $($($rest)*)?
+        )
+    };
+    // `null` is not a Rust expression; match it before the expr arm.
+    ([ $($out:expr,)* ] ($key:literal) null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($out,)* ($key.to_string(), $crate::Value::Null), ] () $($($rest)*)?
+        )
+    };
+    // Value is an expression.
+    ([ $($out:expr,)* ] ($key:literal) $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($out,)* ($key.to_string(), $crate::json!($val)), ] () $($($rest)*)?
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "x",
+            "n": 3usize,
+            "xs": [1, 2, 3],
+            "nested": {"min": 1.5, "max": 2},
+            "flag": true,
+            "nothing": null,
+        });
+        assert_eq!(v.get("name"), Some(&Value::String("x".into())));
+        assert_eq!(v.get("n"), Some(&Value::Int(3)));
+        assert_eq!(
+            v.get("xs"),
+            Some(&Value::Array(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
+        );
+        assert_eq!(
+            v.get("nested").unwrap().get("min"),
+            Some(&Value::Float(1.5))
+        );
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn pretty_renders_stably() {
+        let v = json!({"a": 1, "b": [true, null]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+        );
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":1,\"b\":[true,null]}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+}

@@ -6,11 +6,13 @@
 use std::sync::Arc;
 
 use cgnn::comm::World;
+use cgnn::core::ddp::reduce_gradients;
 use cgnn::core::{
     consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode,
 };
-use cgnn::core::ddp::reduce_gradients;
-use cgnn::graph::{build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph};
+use cgnn::graph::{
+    build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph,
+};
 use cgnn::mesh::{BoxMesh, TaylorGreen};
 use cgnn::partition::{Partition, Strategy};
 use cgnn::tensor::check::{finite_difference_grad, max_rel_error};
@@ -20,7 +22,14 @@ const SEED: u64 = 5;
 
 /// Tiny config so finite differences stay tractable.
 fn tiny_config() -> GnnConfig {
-    GnnConfig { hidden: 4, n_mp_layers: 2, mlp_hidden: 1, node_in: 3, edge_in: 7, node_out: 3 }
+    GnnConfig {
+        hidden: 4,
+        n_mp_layers: 2,
+        mlp_hidden: 1,
+        node_in: 3,
+        edge_in: 7,
+        node_out: 3,
+    }
 }
 
 /// Loss + reduced gradient (flat) on one rank.
@@ -46,7 +55,10 @@ fn loss_and_grad(
     let loss = tape.value(l).item();
     let grads = tape.backward(l);
     let reduced = reduce_gradients(params, &bound, &grads, &ctx.comm);
-    let flat: Vec<f64> = reduced.iter().flat_map(|t| t.data().iter().copied()).collect();
+    let flat: Vec<f64> = reduced
+        .iter()
+        .flat_map(|t| t.data().iter().copied())
+        .collect();
     (loss, flat)
 }
 
@@ -89,12 +101,22 @@ fn distributed_gradients_match_r1_and_finite_differences() {
     assert!(fd_err < 2e-3, "autodiff vs finite differences: {fd_err}");
 
     // Distributed gradients for several partitionings and modes.
-    for (r, strategy) in [(2, Strategy::Slab), (4, Strategy::Block), (8, Strategy::Block)] {
+    for (r, strategy) in [
+        (2, Strategy::Slab),
+        (4, Strategy::Block),
+        (8, Strategy::Block),
+    ] {
         let part = Partition::new(&mesh, r, strategy);
         let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
-        for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::SendRecv] {
+        for mode in [
+            HaloExchangeMode::NeighborAllToAll,
+            HaloExchangeMode::SendRecv,
+        ] {
             let graphs = Arc::clone(&graphs);
             let out = World::run(r, move |comm| {
                 let (params, model) = ConsistentGnn::seeded(tiny_config(), SEED);
@@ -108,7 +130,10 @@ fn distributed_gradients_match_r1_and_finite_differences() {
                     "loss r={r} {mode:?}"
                 );
                 let err = max_rel_error(grad, &ref_grad);
-                assert!(err < 1e-9, "gradient mismatch r={r} {strategy:?} {mode:?}: {err}");
+                assert!(
+                    err < 1e-9,
+                    "gradient mismatch r={r} {strategy:?} {mode:?}: {err}"
+                );
             }
             // All ranks agree bit-for-bit after the deterministic reduce.
             for (_, grad) in &out[1..] {
@@ -133,8 +158,12 @@ fn inconsistent_gradients_deviate_from_r1() {
     .expect("one result");
 
     let part = Partition::new(&mesh, 4, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let out = World::run(4, move |comm| {
         let (params, model) = ConsistentGnn::seeded(tiny_config(), SEED);
         let g = Arc::clone(&graphs[comm.rank()]);
@@ -142,5 +171,8 @@ fn inconsistent_gradients_deviate_from_r1() {
         loss_and_grad(&params, &model, &g, &ctx, &field)
     });
     let err = max_rel_error(&out[0].1, &ref_grad);
-    assert!(err > 1e-4, "standard-MP gradients should deviate, got rel err {err}");
+    assert!(
+        err > 1e-4,
+        "standard-MP gradients should deviate, got rel err {err}"
+    );
 }

@@ -5,8 +5,12 @@
 use std::sync::Arc;
 
 use cgnn::comm::World;
-use cgnn::core::{consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode};
-use cgnn::graph::{build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph};
+use cgnn::core::{
+    consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode,
+};
+use cgnn::graph::{
+    build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph,
+};
 use cgnn::mesh::{BoxMesh, TaylorGreen};
 use cgnn::partition::{Partition, Strategy};
 use cgnn::tensor::{Tape, Tensor};
@@ -63,7 +67,10 @@ fn consistent_gnn_output_matches_r1_for_all_modes_and_partitions() {
     ] {
         let part = Partition::new(&mesh, r, strategy);
         let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         for mode in [
             HaloExchangeMode::AllToAll,
@@ -109,7 +116,10 @@ fn standard_mp_loss_deviates_and_grows_with_rank_count() {
     for r in [2usize, 8, 32] {
         let part = Partition::new(&mesh, r, Strategy::Block);
         let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+            build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let out = World::run(r, move |comm| {
             let g = Arc::clone(&graphs[comm.rank()]);
@@ -120,7 +130,10 @@ fn standard_mp_loss_deviates_and_grows_with_rank_count() {
         let err = (out[0] - ref_loss).abs() / ref_loss.abs();
         errors.push((r, err));
     }
-    assert!(errors[0].1 > 1e-8, "R=2 standard MP should already deviate: {errors:?}");
+    assert!(
+        errors[0].1 > 1e-8,
+        "R=2 standard MP should already deviate: {errors:?}"
+    );
     assert!(
         errors[2].1 > errors[0].1,
         "deviation should grow with R: {errors:?}"
@@ -134,7 +147,10 @@ fn consistency_holds_on_periodic_meshes() {
     let (global, ref_y, _) = reference(&mesh, &field);
     let part = Partition::new(&mesh, 8, Strategy::Block);
     let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-        build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
     );
     let out = World::run(8, move |comm| {
         let g = Arc::clone(&graphs[comm.rank()]);

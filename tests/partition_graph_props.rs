@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use cgnn::graph::{
-    analytic_block_stats, build_distributed_graph, build_global_graph, exact_stats,
-};
+use cgnn::graph::{analytic_block_stats, build_distributed_graph, build_global_graph, exact_stats};
 use cgnn::mesh::BoxMesh;
 use cgnn::partition::{Layout, Partition, Strategy};
 

@@ -21,8 +21,12 @@ fn gnn_trains_on_sem_generated_forecasting_data() {
 
     // Distribute onto 4 ranks.
     let part = Partition::new(&mesh, 4, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(&mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let pair = Arc::new(pair);
 
     // R=1 reference trajectory on the same data.
@@ -54,5 +58,8 @@ fn gnn_trains_on_sem_generated_forecasting_data() {
             );
         }
     }
-    assert!(reference[7] < reference[0], "training on SEM data should reduce loss");
+    assert!(
+        reference[7] < reference[0],
+        "training on SEM data should reduce loss"
+    );
 }

@@ -30,8 +30,12 @@ fn train_r1(mesh: &BoxMesh, field: &TaylorGreen) -> Vec<f64> {
 
 fn train_r8(mesh: &BoxMesh, field: &TaylorGreen, mode: HaloExchangeMode) -> Vec<Vec<f64>> {
     let part = Partition::new(mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> =
-        Arc::new(build_distributed_graph(mesh, &part).into_iter().map(Arc::new).collect());
+    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
+        build_distributed_graph(mesh, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
     let field = *field;
     World::run(8, move |comm| {
         let g = Arc::clone(&graphs[comm.rank()]);
@@ -60,7 +64,10 @@ fn consistent_training_recovers_unpartitioned_curve() {
     for (a, b) in consistent[0].iter().zip(&target) {
         max_rel = max_rel.max((a - b).abs() / b.abs().max(1e-300));
     }
-    assert!(max_rel < 1e-8, "consistent training deviates from R=1: {max_rel}");
+    assert!(
+        max_rel < 1e-8,
+        "consistent training deviates from R=1: {max_rel}"
+    );
 
     // Standard curve deviates visibly once updates accumulate.
     let last_rel = {
@@ -88,12 +95,14 @@ fn consistent_training_is_invariant_to_partition_strategy() {
         .map(|strategy| {
             let part = Partition::new(&mesh, 4, strategy);
             let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-                build_distributed_graph(&mesh, &part).into_iter().map(Arc::new).collect(),
+                build_distributed_graph(&mesh, &part)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
             );
             World::run(4, move |comm| {
                 let g = Arc::clone(&graphs[comm.rank()]);
-                let ctx =
-                    HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
+                let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
                 let mut trainer = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
                 let data = RankData::tgv_autoencode(g, &field, 0.0);
                 trainer.train(&data, 10)

@@ -1,0 +1,60 @@
+//! Smoke test: every workspace crate is reachable through the `cgnn`
+//! umbrella re-exports, and a minimal end-to-end object from each layer
+//! can be constructed. Guards the workspace wiring itself (the build this
+//! repo runs on), not any numerical property.
+
+use cgnn::comm::World;
+use cgnn::core::{GnnConfig, HaloExchangeMode};
+use cgnn::graph::{build_distributed_graph, build_global_graph};
+use cgnn::mesh::{BoxMesh, GllRule};
+use cgnn::partition::{Partition, Strategy};
+use cgnn::perf::MachineModel;
+use cgnn::sem::ElementOps;
+use cgnn::tensor::{Tape, Tensor};
+
+#[test]
+fn umbrella_reexports_resolve_and_construct() {
+    // mesh
+    let mesh = BoxMesh::new((2, 2, 2), 2, (1.0, 1.0, 1.0), false);
+    assert!(mesh.num_global_nodes() > 0);
+    let rule = GllRule::new(2);
+    assert_eq!(rule.nodes.len(), 3);
+
+    // partition + graph
+    let part = Partition::new(&mesh, 2, Strategy::Slab);
+    let graphs = build_distributed_graph(&mesh, &part);
+    assert_eq!(graphs.len(), 2);
+    let global = build_global_graph(&mesh);
+    assert_eq!(
+        global.n_local(),
+        mesh.num_global_nodes(),
+        "R=1 graph covers every unique node"
+    );
+
+    // tensor + autodiff
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_fn(2, 2, |r, c| (r + c) as f64));
+    let s = tape.sum(x);
+    assert!(tape.value(s).item() > 0.0);
+
+    // sem
+    let ops = ElementOps::new(&mesh);
+    let _ = ops;
+
+    // perf
+    let machine = MachineModel::frontier();
+    assert_eq!(machine.ranks_per_node, 8);
+
+    // core config exists and names an exchange mode
+    let cfg = GnnConfig::small();
+    assert!(cfg.hidden > 0);
+    let _ = HaloExchangeMode::NeighborAllToAll;
+
+    // comm: a 2-rank world runs a deterministic all-reduce
+    let sums = World::run(2, |comm| {
+        let mut buf = [comm.rank() as f64 + 1.0];
+        comm.all_reduce_sum(&mut buf);
+        buf[0]
+    });
+    assert_eq!(sums, vec![3.0, 3.0]);
+}
