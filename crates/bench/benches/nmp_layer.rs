@@ -65,6 +65,7 @@ fn bench_halo_exchange_modes(c: &mut Criterion) {
         HaloExchangeMode::AllToAll,
         HaloExchangeMode::NeighborAllToAll,
         HaloExchangeMode::SendRecv,
+        HaloExchangeMode::Coalesced,
     ] {
         let graphs = Arc::clone(&graphs);
         group.bench_function(mode.label(), |b| {
@@ -105,6 +106,7 @@ fn bench_consistent_forward_r8(c: &mut Criterion) {
         HaloExchangeMode::None,
         HaloExchangeMode::AllToAll,
         HaloExchangeMode::NeighborAllToAll,
+        HaloExchangeMode::Coalesced,
     ] {
         let graphs = Arc::clone(&graphs);
         group.bench_function(mode.label(), |b| {

@@ -1,18 +1,16 @@
 //! Regenerate paper Fig. 6 (left): consistent-loss evaluations of a
 //! randomly initialized GNN versus the number of ranks R, for standard NMP
-//! layers (no halo exchange) and consistent NMP layers.
+//! layers (no halo exchange) and consistent NMP layers. One `Session` per
+//! (R, mode) configuration.
 //!
 //! `CGNN_ELEMS` sets the cubic element count per axis (paper: 32, default
 //! here 12 to stay fast on laptops); `CGNN_MAXR` caps the rank sweep.
 
-use std::sync::Arc;
-
 use cgnn_bench::{demo_loss, env_usize, write_json};
-use cgnn_comm::World;
-use cgnn_core::{HaloContext, HaloExchangeMode};
-use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
+use cgnn_core::HaloExchangeMode;
 use cgnn_mesh::BoxMesh;
-use cgnn_partition::{Partition, Strategy};
+use cgnn_partition::Strategy;
+use cgnn_session::Session;
 use serde_json::json;
 
 const SEED: u64 = 2024;
@@ -26,12 +24,19 @@ fn main() {
         elems,
         mesh.num_global_nodes()
     );
+    // One wiring (partition + graphs) per rank count; the mode sweep swaps
+    // only the exchange strategy via `with_exchange`.
+    let session = |r: usize| {
+        Session::builder()
+            .mesh(mesh.clone())
+            .partition(Strategy::Block)
+            .ranks(r)
+            .seed(SEED)
+            .build()
+            .expect("session")
+    };
 
-    let global = Arc::new(build_global_graph(&mesh));
-    let g1 = Arc::clone(&global);
-    let reference = World::run(1, move |comm| {
-        demo_loss(&g1, &HaloContext::single(comm.clone()), SEED)
-    })[0];
+    let reference = demo_loss(&session(1).with_exchange(HaloExchangeMode::None));
     println!("R=1 reference loss: {reference:.12e}\n");
     println!(
         "{:>5} {:>18} {:>18} {:>12} {:>12}",
@@ -41,25 +46,11 @@ fn main() {
     let mut rows = vec![json!({"ranks": 1, "standard": reference, "consistent": reference})];
     let mut r = 2;
     while r <= max_r && mesh.num_elements() >= r {
-        let part = Partition::new(&mesh, r, Strategy::Block);
-        let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part)
-                .into_iter()
-                .map(Arc::new)
-                .collect(),
-        );
-        let mut losses = [0.0f64; 2];
-        for (k, mode) in [HaloExchangeMode::None, HaloExchangeMode::NeighborAllToAll]
+        let wired = session(r);
+        let losses: Vec<f64> = [HaloExchangeMode::None, HaloExchangeMode::NeighborAllToAll]
             .into_iter()
-            .enumerate()
-        {
-            let graphs = Arc::clone(&graphs);
-            losses[k] = World::run(r, move |comm| {
-                let g = Arc::clone(&graphs[comm.rank()]);
-                let ctx = HaloContext::new(comm.clone(), &g, mode);
-                demo_loss(&g, &ctx, SEED)
-            })[0];
-        }
+            .map(|mode| demo_loss(&wired.with_exchange(mode)))
+            .collect();
         println!(
             "{:>5} {:>18.10e} {:>18.10e} {:>12.3e} {:>12.3e}",
             r,

@@ -1,18 +1,15 @@
 //! Regenerate paper Fig. 6 (right): training-loss curves for the target
 //! R=1 un-partitioned GNN, a distributed GNN with consistent NMP layers
-//! (R=8), and one with standard NMP layers (R=8).
+//! (R=8), and one with standard NMP layers (R=8) — one `Session` each.
 //!
 //! `CGNN_ITERS` sets the iteration count (paper: 1500; default 200),
 //! `CGNN_ELEMS` the cubic element count (paper: 32 at p=1; default 8).
 
-use std::sync::Arc;
-
 use cgnn_bench::{env_usize, write_json};
-use cgnn_comm::World;
-use cgnn_core::{GnnConfig, HaloContext, HaloExchangeMode, RankData, Trainer};
-use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
+use cgnn_core::HaloExchangeMode;
 use cgnn_mesh::{BoxMesh, TaylorGreen};
-use cgnn_partition::{Partition, Strategy};
+use cgnn_partition::Strategy;
+use cgnn_session::Session;
 use serde_json::json;
 
 const SEED: u64 = 99;
@@ -29,39 +26,33 @@ fn main() {
         mesh.num_global_nodes(),
         iters
     );
+    // One wiring per rank count; the mode sweep swaps only the exchange.
+    let session = |r: usize| {
+        Session::builder()
+            .mesh(mesh.clone())
+            .partition(Strategy::Block)
+            .ranks(r)
+            .seed(SEED)
+            .learning_rate(LR)
+            .build()
+            .expect("session")
+    };
 
-    let global = Arc::new(build_global_graph(&mesh));
-    let target = World::run(1, |comm| {
-        let ctx = HaloContext::single(comm.clone());
-        let mut t = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
-        let data = RankData::tgv_autoencode(Arc::clone(&global), &field, 0.0);
-        t.train(&data, iters)
-    })
-    .pop()
-    .expect("history");
+    let target = session(1)
+        .train_autoencode(&field, 0.0, iters)
+        .pop()
+        .expect("history");
 
-    let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-        build_distributed_graph(&mesh, &part)
-            .into_iter()
-            .map(Arc::new)
-            .collect(),
-    );
-    let mut curves = Vec::new();
-    for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None] {
-        let graphs = Arc::clone(&graphs);
-        curves.push(
-            World::run(8, move |comm| {
-                let g = Arc::clone(&graphs[comm.rank()]);
-                let ctx = HaloContext::new(comm.clone(), &g, mode);
-                let mut t = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
-                let data = RankData::tgv_autoencode(g, &field, 0.0);
-                t.train(&data, iters)
-            })
-            .pop()
-            .expect("history"),
-        );
-    }
+    let r8 = session(8);
+    let curves: Vec<Vec<f64>> = [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None]
+        .into_iter()
+        .map(|mode| {
+            r8.with_exchange(mode)
+                .train_autoencode(&field, 0.0, iters)
+                .pop()
+                .expect("history")
+        })
+        .collect();
 
     println!(
         "\n{:>6} {:>16} {:>18} {:>16}",

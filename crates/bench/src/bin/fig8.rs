@@ -16,7 +16,7 @@ fn main() {
         print!("{:>6}", "ranks");
         let mut curves = Vec::new();
         for model in ["large", "small"] {
-            for mode in ["A2A", "N-A2A"] {
+            for mode in ["A2A", "N-A2A", "Coal-AG"] {
                 let s = series
                     .iter()
                     .find(|s| s.loading == loading && s.model == model && s.mode == mode)
@@ -52,7 +52,10 @@ fn main() {
          - A2A cost becomes impractical as ranks grow (collapses below 0.3)\n\
          - N-A2A stays above 0.95 to 64 ranks and above 0.9 to 1024 ranks\n\
            (large model, 512k loading), with a dip at 2048\n\
-         - smaller sub-graphs drop below 0.9 beyond ~128 ranks"
+         - smaller sub-graphs drop below 0.9 beyond ~128 ranks\n\
+         - beyond the paper: Coal-AG (one fused all-gather per exchange)\n\
+           tracks N-A2A at small rank counts but collapses like a ring —\n\
+           its replicated buffers price the latency/bandwidth trade"
     );
     write_json("fig8", &out);
 }

@@ -11,29 +11,14 @@
 //! | Fig. 7 (weak scaling)               | `fig7` |
 //! | Fig. 8 (relative throughput)        | `fig8` |
 
-use std::sync::Arc;
-
-use cgnn_core::{consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext};
-use cgnn_graph::{edge_features, node_velocity_features, LocalGraph};
 use cgnn_mesh::TaylorGreen;
-use cgnn_tensor::{Tape, Tensor};
+use cgnn_session::Session;
 
 /// Evaluate the consistent loss of a seeded, randomly initialized GNN with
-/// the input as target (the paper's Fig. 6 demonstration protocol).
-pub fn demo_loss(g: &Arc<LocalGraph>, ctx: &HaloContext, seed: u64) -> f64 {
-    let (params, model) = ConsistentGnn::seeded(GnnConfig::small(), seed);
-    let field = TaylorGreen::new(0.01);
-    let x_buf = node_velocity_features(g, &field, 0.0);
-    let e_buf = edge_features(g, &x_buf, 3);
-    let idx = GraphIndices::from_graph(g);
-    let mut tape = Tape::new();
-    let bound = params.bind(&mut tape);
-    let x = tape.leaf(Tensor::from_vec(g.n_local(), 3, x_buf.clone()));
-    let e = tape.leaf(Tensor::from_vec(g.n_edges(), 7, e_buf));
-    let y = model.forward(&mut tape, &bound, x, e, g, &idx, ctx);
-    let target = Tensor::from_vec(g.n_local(), 3, x_buf);
-    let l = consistent_mse(&mut tape, y, &target, g, &idx.node_inv_degree, &ctx.comm);
-    tape.value(l).item()
+/// the input as target (the paper's Fig. 6 demonstration protocol), for
+/// the session's configuration. Identical on every rank.
+pub fn demo_loss(session: &Session) -> f64 {
+    session.initial_loss(&TaylorGreen::new(0.01), 0.0)
 }
 
 /// Parse an env var override with a default (used by the figure binaries to

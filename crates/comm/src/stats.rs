@@ -29,6 +29,11 @@ pub struct RankStats {
     pub sends: AtomicU64,
     /// Bytes sent point-to-point.
     pub send_bytes: AtomicU64,
+    /// Number of all-gather calls (the coalesced halo exchange collective).
+    pub all_gathers: AtomicU64,
+    /// Bytes pushed by all-gather calls: the contribution is replicated to
+    /// every other rank, so each call charges `len * 8 * (R - 1)`.
+    pub all_gather_bytes: AtomicU64,
 }
 
 /// Plain-old-data snapshot of [`RankStats`].
@@ -42,6 +47,8 @@ pub struct StatsSnapshot {
     pub a2a_bytes: u64,
     pub sends: u64,
     pub send_bytes: u64,
+    pub all_gathers: u64,
+    pub all_gather_bytes: u64,
 }
 
 impl RankStats {
@@ -55,6 +62,8 @@ impl RankStats {
             a2a_bytes: self.a2a_bytes.load(Ordering::Relaxed),
             sends: self.sends.load(Ordering::Relaxed),
             send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            all_gathers: self.all_gathers.load(Ordering::Relaxed),
+            all_gather_bytes: self.all_gather_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -67,12 +76,14 @@ impl RankStats {
         self.a2a_bytes.store(0, Ordering::Relaxed);
         self.sends.store(0, Ordering::Relaxed);
         self.send_bytes.store(0, Ordering::Relaxed);
+        self.all_gathers.store(0, Ordering::Relaxed);
+        self.all_gather_bytes.store(0, Ordering::Relaxed);
     }
 }
 
 impl StatsSnapshot {
     /// Total bytes this rank pushed onto the (virtual) network.
     pub fn total_bytes(&self) -> u64 {
-        self.all_reduce_bytes + self.a2a_bytes + self.send_bytes
+        self.all_reduce_bytes + self.a2a_bytes + self.send_bytes + self.all_gather_bytes
     }
 }

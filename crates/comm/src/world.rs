@@ -185,8 +185,19 @@ impl Comm {
     }
 
     /// Gather every rank's buffer; result is indexed by rank and identical
-    /// on all ranks.
+    /// on all ranks. Contributions may have different lengths per rank.
+    ///
+    /// Traffic accounting: the contribution is replicated to every other
+    /// rank, so `len * 8 * (R - 1)` bytes are charged (the internal gathers
+    /// backing [`Comm::all_reduce_sum`] are charged as all-reduce bytes
+    /// instead and do not hit these counters).
     pub fn all_gather(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let st = self.stats();
+        st.all_gathers.fetch_add(1, Ordering::Relaxed);
+        st.all_gather_bytes.fetch_add(
+            (data.len() * std::mem::size_of::<f64>()) as u64 * (self.size() as u64 - 1),
+            Ordering::Relaxed,
+        );
         self.all_gather_labeled("all_gather", data)
     }
 
@@ -396,6 +407,21 @@ mod tests {
             for (r, p) in parts.iter().enumerate() {
                 assert_eq!(p, &vec![r as f64; 2]);
             }
+        }
+    }
+
+    #[test]
+    fn all_gather_records_replicated_traffic() {
+        let out = World::run(4, |comm| {
+            comm.stats_reset();
+            let _ = comm.all_gather(vec![1.0, 2.0, 3.0]);
+            comm.stats_snapshot()
+        });
+        for s in &out {
+            assert_eq!(s.all_gathers, 1);
+            // 3 doubles replicated to 3 peers.
+            assert_eq!(s.all_gather_bytes, 3 * 8 * 3);
+            assert_eq!(s.all_reduces, 0, "gathers are not all-reduces");
         }
     }
 

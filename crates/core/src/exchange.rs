@@ -1,27 +1,101 @@
-//! Halo exchange implementations (paper Sec. III).
+//! Halo exchange strategies (paper Sec. III).
 //!
 //! The paper compares four ways of realizing the differentiable halo swap
-//! of Eq. 4c-d:
+//! of Eq. 4c-d; this module turns each into an implementation of the
+//! object-safe [`HaloExchange`] trait so that new exchange schedules are a
+//! new `impl`, not a new match arm:
 //!
-//! * **None** — skip the exchange entirely: the *inconsistent* baseline
-//!   ("standard NMP") used to isolate communication costs,
-//! * **A2A** — dense `all_to_all` with equal-sized buffers to *every* rank,
-//!   dummy traffic included (the naive baseline),
-//! * **N-A2A** — the same `all_to_all` but with empty buffers for
-//!   non-neighbour ranks, which collective libraries turn into neighbour
-//!   send/receives (the paper's efficient variant),
-//! * **Send-Recv** — explicit point-to-point sends and receives.
+//! * [`NoExchange`] — skip the exchange entirely: the *inconsistent*
+//!   baseline ("standard NMP") used to isolate communication costs,
+//! * [`DenseAllToAll`] — dense `all_to_all` with equal-sized buffers to
+//!   *every* rank, dummy traffic included (the naive baseline),
+//! * [`NeighborAllToAll`] — the same `all_to_all` but with empty buffers
+//!   for non-neighbour ranks, which collective libraries turn into
+//!   neighbour send/receives (the paper's efficient variant),
+//! * [`SendRecvExchange`] — explicit point-to-point sends and receives,
+//! * [`CoalescedAllGather`] — **new, beyond the paper**: every neighbour
+//!   payload fused into one contiguous buffer shipped with a single
+//!   `all_gather` collective per exchange. One collective entry instead of
+//!   one message per neighbour; the price is that the fused buffer is
+//!   replicated to all ranks, so it only pays off at modest rank counts
+//!   (priced by `cgnn-perf`). Cross-*layer* batching is impossible without
+//!   changing the arithmetic — layer `m + 1` consumes layer `m`'s exchanged
+//!   output — so coalescing fuses across *neighbours* within each of the
+//!   `M` per-layer exchanges, which preserves Eq. 4 bit-for-bit.
 //!
-//! All four produce identical arithmetic when they exchange at all; they
-//! differ only in traffic, which [`cgnn_comm`] records and `cgnn-perf`
-//! prices.
+//! All consistent strategies produce identical arithmetic (verified by the
+//! equivalence suites); they differ only in traffic, which [`cgnn_comm`]
+//! records, [`HaloExchange::traffic_per_exchange`] predicts, and
+//! `cgnn-perf` prices.
+//!
+//! [`HaloExchangeMode`] survives as a thin, `#[non_exhaustive]` constructor
+//! enum for the built-in strategies; custom strategies go straight through
+//! [`HaloContext::with_strategy`].
+
+use std::sync::Arc;
 
 use cgnn_comm::Comm;
 use cgnn_graph::LocalGraph;
 use cgnn_tensor::Tensor;
 
-/// Which halo exchange implementation to run.
+/// Tag for point-to-point halo traffic.
+const HALO_TAG: u32 = 0x4841;
+
+/// Predicted per-rank traffic of **one** halo exchange call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeTraffic {
+    /// Non-empty messages this rank injects (collective or point-to-point).
+    pub messages: u64,
+    /// Payload bytes this rank injects.
+    pub bytes: u64,
+}
+
+/// An object-safe halo exchange strategy: one synchronization of shared
+/// node rows across partition boundaries (paper Eqs. 4c-4d).
+///
+/// Contract for consistent strategies: after [`HaloExchange::exchange`],
+/// every coincident copy of a shared node holds the **sum** of all
+/// pre-exchange copies, and interior rows are untouched. The operator is
+/// globally symmetric (`H = H^T`), which is why the backward pass of the
+/// differentiable swap is the same exchange applied to the adjoints.
+///
+/// Implementations that need a communication plan (buffer sizes, peer
+/// offsets) compute it in their constructor, which is then a *collective*
+/// — every rank must build the strategy at the same point.
+pub trait HaloExchange: Send + Sync {
+    /// Short label used in experiment output (matches the paper's legends).
+    fn label(&self) -> &'static str;
+
+    /// Whether this strategy actually synchronizes halos (i.e. whether the
+    /// resulting message passing is consistent).
+    fn is_consistent(&self) -> bool;
+
+    /// Execute one halo swap + synchronization on a `[n_local, cols]`
+    /// tensor, returning `a*` with shared rows summed across ranks.
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor;
+
+    /// Predicted per-rank traffic of one exchange of a `cols`-wide tensor —
+    /// the accounting the weak-scaling model prices. The default is the
+    /// neighbour-exact volume (what a perfect implementation would ship).
+    fn traffic_per_exchange(
+        &self,
+        graph: &LocalGraph,
+        world: usize,
+        cols: usize,
+    ) -> ExchangeTraffic {
+        let _ = world;
+        ExchangeTraffic {
+            messages: graph.halo.neighbors.len() as u64,
+            bytes: (graph.halo.halo_count() * cols * std::mem::size_of::<f64>()) as u64,
+        }
+    }
+}
+
+/// Which built-in halo exchange strategy to run. Kept as a thin constructor
+/// over the [`HaloExchange`] implementations for ergonomics and backwards
+/// compatibility; `#[non_exhaustive]` because new strategies are expected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HaloExchangeMode {
     /// No exchange: inconsistent "standard" message passing.
     None,
@@ -31,6 +105,9 @@ pub enum HaloExchangeMode {
     NeighborAllToAll,
     /// Explicit point-to-point sends/receives between neighbours.
     SendRecv,
+    /// Fused-buffer exchange: all neighbour payloads coalesced into one
+    /// buffer, shipped with a single all-gather collective.
+    Coalesced,
 }
 
 impl HaloExchangeMode {
@@ -41,6 +118,7 @@ impl HaloExchangeMode {
             HaloExchangeMode::AllToAll => "A2A",
             HaloExchangeMode::NeighborAllToAll => "N-A2A",
             HaloExchangeMode::SendRecv => "Send-Recv",
+            HaloExchangeMode::Coalesced => "Coal-AG",
         }
     }
 
@@ -48,33 +126,65 @@ impl HaloExchangeMode {
     pub fn is_consistent(self) -> bool {
         !matches!(self, HaloExchangeMode::None)
     }
+
+    /// Every built-in mode, in presentation order: the paper's four
+    /// (including the inconsistent `None` baseline) plus the coalesced
+    /// extension. Filter with [`HaloExchangeMode::is_consistent`] if only
+    /// the synchronizing modes are wanted.
+    pub fn all() -> [HaloExchangeMode; 5] {
+        [
+            HaloExchangeMode::None,
+            HaloExchangeMode::AllToAll,
+            HaloExchangeMode::NeighborAllToAll,
+            HaloExchangeMode::SendRecv,
+            HaloExchangeMode::Coalesced,
+        ]
+    }
+
+    /// Build the strategy this mode names. Collective for modes that need a
+    /// communication plan ([`HaloExchangeMode::AllToAll`] all-reduces the
+    /// padding unit, [`HaloExchangeMode::Coalesced`] gathers peer offsets),
+    /// so every rank must call it at the same point.
+    pub fn build(self, comm: &Comm, graph: &LocalGraph) -> Arc<dyn HaloExchange> {
+        match self {
+            HaloExchangeMode::None => Arc::new(NoExchange),
+            HaloExchangeMode::AllToAll => Arc::new(DenseAllToAll::prepare(comm, graph)),
+            HaloExchangeMode::NeighborAllToAll => Arc::new(NeighborAllToAll),
+            HaloExchangeMode::SendRecv => Arc::new(SendRecvExchange),
+            HaloExchangeMode::Coalesced => Arc::new(CoalescedAllGather::prepare(comm, graph)),
+        }
+    }
 }
 
-/// Per-rank context for halo exchanges: the communicator, the chosen mode,
-/// and the globally-uniform buffer length needed by the dense A2A mode.
+impl std::fmt::Display for HaloExchangeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` (not `write_str`) so `{:<10}`-style table formatting works.
+        f.pad(self.label())
+    }
+}
+
+/// Per-rank context for halo exchanges: the communicator and the strategy.
 ///
-/// Construction is a collective operation (it all-reduces the maximum
-/// shared-node count), so every rank must build it at the same point.
+/// Construction through [`HaloContext::new`] is a collective operation for
+/// strategies with a communication plan, so every rank must build it at the
+/// same point.
 #[derive(Clone)]
 pub struct HaloContext {
     pub comm: Comm,
-    pub mode: HaloExchangeMode,
-    /// Maximum number of shared nodes with any single neighbour, over all
-    /// rank pairs in the world — the A2A padding unit.
-    pub max_shared: usize,
+    strategy: Arc<dyn HaloExchange>,
 }
 
 impl HaloContext {
     /// Collective constructor; call on every rank with its own `graph`.
     pub fn new(comm: Comm, graph: &LocalGraph, mode: HaloExchangeMode) -> Self {
-        let local_max = graph.halo.send_ids.iter().map(Vec::len).max().unwrap_or(0) as f64;
-        let mut buf = [local_max];
-        comm.all_reduce_max(&mut buf);
-        HaloContext {
-            comm,
-            mode,
-            max_shared: buf[0] as usize,
-        }
+        let strategy = mode.build(&comm, graph);
+        HaloContext { comm, strategy }
+    }
+
+    /// Wrap a custom (or pre-built) strategy. Non-collective by itself; the
+    /// strategy's own constructor carries any collective setup.
+    pub fn with_strategy(comm: Comm, strategy: Arc<dyn HaloExchange>) -> Self {
+        HaloContext { comm, strategy }
     }
 
     /// Non-collective constructor for single-rank (R = 1) use.
@@ -82,14 +192,25 @@ impl HaloContext {
         assert_eq!(comm.size(), 1, "single() is only for R = 1 worlds");
         HaloContext {
             comm,
-            mode: HaloExchangeMode::None,
-            max_shared: 0,
+            strategy: Arc::new(NoExchange),
         }
     }
-}
 
-/// Tag for point-to-point halo traffic.
-const HALO_TAG: u32 = 0x4841;
+    /// The strategy driving this context's exchanges.
+    pub fn strategy(&self) -> &Arc<dyn HaloExchange> {
+        &self.strategy
+    }
+
+    /// Short strategy label (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        self.strategy.label()
+    }
+
+    /// Whether exchanges through this context synchronize halos.
+    pub fn is_consistent(&self) -> bool {
+        self.strategy.is_consistent()
+    }
+}
 
 /// Execute one halo swap + synchronization (paper Eqs. 4c-4d) on a raw
 /// node-row tensor: returns `a*` where
@@ -101,90 +222,34 @@ const HALO_TAG: u32 = 0x4841;
 /// differentiable halo exchange is another halo exchange — see
 /// [`crate::mp_layer::HaloSyncOp`].
 pub fn halo_exchange_apply(a: &Tensor, graph: &LocalGraph, ctx: &HaloContext) -> Tensor {
-    let mut out = a.clone();
-    let cols = a.cols();
     debug_assert_eq!(
         a.rows(),
         graph.n_local(),
         "halo exchange expects local rows only"
     );
-    match ctx.mode {
-        HaloExchangeMode::None => out,
-        HaloExchangeMode::AllToAll | HaloExchangeMode::NeighborAllToAll => {
-            let world = ctx.comm.size();
-            let uniform_len = ctx.max_shared * cols;
-            let mut send: Vec<Vec<f64>> = vec![Vec::new(); world];
-            for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
-                let ids = &graph.halo.send_ids[ni];
-                let mut buf = Vec::with_capacity(if ctx.mode == HaloExchangeMode::AllToAll {
-                    uniform_len
-                } else {
-                    ids.len() * cols
-                });
-                for &lid in ids {
-                    buf.extend_from_slice(a.row(lid));
-                }
-                if ctx.mode == HaloExchangeMode::AllToAll {
-                    buf.resize(uniform_len, 0.0);
-                }
-                send[s] = buf;
-            }
-            if ctx.mode == HaloExchangeMode::AllToAll {
-                // Dummy full-size buffers to non-neighbours (the paper's
-                // "equal-sized buffers regardless of whether communication
-                // is needed").
-                for (dst, buf) in send.iter_mut().enumerate() {
-                    if dst != ctx.comm.rank() && buf.is_empty() {
-                        *buf = vec![0.0; uniform_len];
-                    }
-                }
-            }
-            let recv = ctx.comm.all_to_all(send);
-            accumulate_halos(&mut out, graph, cols, |s| recv[s].as_slice());
-            out
-        }
-        HaloExchangeMode::SendRecv => {
-            for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
-                let ids = &graph.halo.send_ids[ni];
-                let mut buf = Vec::with_capacity(ids.len() * cols);
-                for &lid in ids {
-                    buf.extend_from_slice(a.row(lid));
-                }
-                ctx.comm.send(s, HALO_TAG, buf);
-            }
-            let recvs: Vec<Vec<f64>> = graph
-                .halo
-                .neighbors
-                .iter()
-                .map(|&s| ctx.comm.recv(s, HALO_TAG))
-                .collect();
-            let by_rank = |s: usize| {
-                let ni = graph
-                    .halo
-                    .neighbors
-                    .iter()
-                    .position(|&n| n == s)
-                    .expect("receive from non-neighbour");
-                recvs[ni].as_slice()
-            };
-            accumulate_halos(&mut out, graph, cols, by_rank);
-            out
-        }
+    ctx.strategy.exchange(a, graph, &ctx.comm)
+}
+
+/// Pack the shared rows destined for neighbour index `ni` into `buf`.
+fn pack_neighbor(buf: &mut Vec<f64>, a: &Tensor, graph: &LocalGraph, ni: usize) {
+    for &lid in &graph.halo.send_ids[ni] {
+        buf.extend_from_slice(a.row(lid));
     }
 }
 
 /// Synchronization step (Eq. 4d): add each neighbour's buffered aggregates
-/// into the owner rows. `recv_of(s)` yields the payload received from rank
-/// `s`, laid out as `shared_count x cols` in ascending-gid order.
+/// into the owner rows. `recv_of(ni, s)` yields the payload received from
+/// neighbour index `ni` (rank `s`), laid out as `shared_count x cols` in
+/// ascending-gid order.
 fn accumulate_halos<'a>(
     out: &mut Tensor,
     graph: &LocalGraph,
     cols: usize,
-    recv_of: impl Fn(usize) -> &'a [f64],
+    recv_of: impl Fn(usize, usize) -> &'a [f64],
 ) {
     for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
         let ids = &graph.halo.send_ids[ni];
-        let buf = recv_of(s);
+        let buf = recv_of(ni, s);
         assert!(
             buf.len() >= ids.len() * cols,
             "halo payload from rank {s} too short: {} < {}",
@@ -200,6 +265,244 @@ fn accumulate_halos<'a>(
     }
 }
 
+/// The inconsistent baseline: no synchronization at all ("standard NMP").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExchange;
+
+impl HaloExchange for NoExchange {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::None.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        false
+    }
+
+    fn exchange(&self, a: &Tensor, _graph: &LocalGraph, _comm: &Comm) -> Tensor {
+        a.clone()
+    }
+
+    fn traffic_per_exchange(
+        &self,
+        _g: &LocalGraph,
+        _world: usize,
+        _cols: usize,
+    ) -> ExchangeTraffic {
+        ExchangeTraffic::default()
+    }
+}
+
+/// Dense all-to-all with uniform padded buffers to every rank — the paper's
+/// naive baseline ("equal-sized buffers regardless of whether communication
+/// is needed").
+#[derive(Debug, Clone, Copy)]
+pub struct DenseAllToAll {
+    /// Maximum number of shared nodes with any single neighbour, over all
+    /// rank pairs in the world — the padding unit.
+    pub max_shared: usize,
+}
+
+impl DenseAllToAll {
+    /// Collective constructor: all-reduces the padding unit.
+    pub fn prepare(comm: &Comm, graph: &LocalGraph) -> Self {
+        let local_max = graph.halo.send_ids.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        let mut buf = [local_max];
+        comm.all_reduce_max(&mut buf);
+        DenseAllToAll {
+            max_shared: buf[0] as usize,
+        }
+    }
+}
+
+impl HaloExchange for DenseAllToAll {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::AllToAll.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        true
+    }
+
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        let mut out = a.clone();
+        let cols = a.cols();
+        let uniform_len = self.max_shared * cols;
+        let mut send: Vec<Vec<f64>> = vec![Vec::new(); comm.size()];
+        for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
+            let mut buf = Vec::with_capacity(uniform_len);
+            pack_neighbor(&mut buf, a, graph, ni);
+            buf.resize(uniform_len, 0.0);
+            send[s] = buf;
+        }
+        // Dummy full-size buffers to non-neighbours.
+        for (dst, buf) in send.iter_mut().enumerate() {
+            if dst != comm.rank() && buf.is_empty() {
+                *buf = vec![0.0; uniform_len];
+            }
+        }
+        let recv = comm.all_to_all(send);
+        accumulate_halos(&mut out, graph, cols, |_, s| recv[s].as_slice());
+        out
+    }
+
+    fn traffic_per_exchange(&self, _g: &LocalGraph, world: usize, cols: usize) -> ExchangeTraffic {
+        if self.max_shared == 0 {
+            // Zero-length buffers are never injected, even to "everyone".
+            return ExchangeTraffic::default();
+        }
+        let peers = world.saturating_sub(1) as u64;
+        ExchangeTraffic {
+            messages: peers,
+            bytes: peers * (self.max_shared * cols * std::mem::size_of::<f64>()) as u64,
+        }
+    }
+}
+
+/// All-to-all with empty buffers for non-neighbours — the paper's efficient
+/// variant (the `torch.empty(0)` trick).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborAllToAll;
+
+impl HaloExchange for NeighborAllToAll {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::NeighborAllToAll.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        true
+    }
+
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        let mut out = a.clone();
+        let cols = a.cols();
+        let mut send: Vec<Vec<f64>> = vec![Vec::new(); comm.size()];
+        for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
+            let mut buf = Vec::with_capacity(graph.halo.send_ids[ni].len() * cols);
+            pack_neighbor(&mut buf, a, graph, ni);
+            send[s] = buf;
+        }
+        let recv = comm.all_to_all(send);
+        accumulate_halos(&mut out, graph, cols, |_, s| recv[s].as_slice());
+        out
+    }
+}
+
+/// Explicit point-to-point sends and receives between neighbours.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendRecvExchange;
+
+impl HaloExchange for SendRecvExchange {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::SendRecv.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        true
+    }
+
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        let mut out = a.clone();
+        let cols = a.cols();
+        for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
+            let mut buf = Vec::with_capacity(graph.halo.send_ids[ni].len() * cols);
+            pack_neighbor(&mut buf, a, graph, ni);
+            comm.send(s, HALO_TAG, buf);
+        }
+        let recvs: Vec<Vec<f64>> = graph
+            .halo
+            .neighbors
+            .iter()
+            .map(|&s| comm.recv(s, HALO_TAG))
+            .collect();
+        accumulate_halos(&mut out, graph, cols, |ni, _| recvs[ni].as_slice());
+        out
+    }
+}
+
+/// Fused-buffer halo exchange: all neighbour payloads packed into **one**
+/// contiguous buffer per exchange, shipped with a single `all_gather`
+/// collective. Each receiver slices the block addressed to it out of every
+/// neighbour's fused buffer using a peer-offset plan gathered once at
+/// construction time.
+///
+/// Compared to [`NeighborAllToAll`] this trades bandwidth for latency: one
+/// collective entry and one allocation instead of one message per
+/// neighbour, but the fused buffer is replicated to all ranks — a fifth
+/// point on the cost/traffic trade-off curve for `cgnn-perf` to price. The
+/// arithmetic is bit-identical to N-A2A (same payloads, same neighbour
+/// accumulation order).
+#[derive(Debug, Clone)]
+pub struct CoalescedAllGather {
+    /// `offsets[ni]`: node offset of **our** block inside neighbour `ni`'s
+    /// fused buffer (multiply by `cols` at exchange time).
+    offsets: Vec<usize>,
+}
+
+impl CoalescedAllGather {
+    /// Collective constructor: every rank publishes, for each of its
+    /// neighbours, the node offset of that neighbour's block within its own
+    /// fused buffer; each rank keeps the entries addressed to itself.
+    pub fn prepare(comm: &Comm, graph: &LocalGraph) -> Self {
+        // Flat (neighbour, node-offset) pairs describing *our* fused layout.
+        let mut table = Vec::with_capacity(2 * graph.halo.neighbors.len());
+        for (ni, &s) in graph.halo.neighbors.iter().enumerate() {
+            table.push(s as f64);
+            table.push(graph.halo.halo_offset(ni) as f64);
+        }
+        let tables = comm.all_gather(table);
+        let offsets = graph
+            .halo
+            .neighbors
+            .iter()
+            .map(|&s| {
+                tables[s]
+                    .chunks_exact(2)
+                    .find(|pair| pair[0] as usize == comm.rank())
+                    .map(|pair| pair[1] as usize)
+                    .expect("neighbour table misses this rank: halo plan asymmetric")
+            })
+            .collect();
+        CoalescedAllGather { offsets }
+    }
+}
+
+impl HaloExchange for CoalescedAllGather {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::Coalesced.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        true
+    }
+
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        let mut out = a.clone();
+        let cols = a.cols();
+        // One fused allocation for every neighbour's payload, in neighbour
+        // order (matching `HaloPlan::halo_offset`).
+        let mut fused = Vec::with_capacity(graph.halo.halo_count() * cols);
+        for ni in 0..graph.halo.neighbors.len() {
+            pack_neighbor(&mut fused, a, graph, ni);
+        }
+        let gathered = comm.all_gather(fused);
+        accumulate_halos(&mut out, graph, cols, |ni, s| {
+            let start = self.offsets[ni] * cols;
+            let len = graph.halo.send_ids[ni].len() * cols;
+            &gathered[s][start..start + len]
+        });
+        out
+    }
+
+    fn traffic_per_exchange(&self, g: &LocalGraph, world: usize, cols: usize) -> ExchangeTraffic {
+        // The fused buffer is replicated to every other rank.
+        let peers = world.saturating_sub(1) as u64;
+        ExchangeTraffic {
+            messages: if g.halo.halo_count() > 0 { peers } else { 0 },
+            bytes: peers * (g.halo.halo_count() * cols * std::mem::size_of::<f64>()) as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,7 +510,6 @@ mod tests {
     use cgnn_graph::build_distributed_graph;
     use cgnn_mesh::BoxMesh;
     use cgnn_partition::{Partition, Strategy};
-    use std::sync::Arc;
 
     /// After an exchange, every coincident copy of a node must hold the sum
     /// of all pre-exchange copies — identically across ranks and modes.
@@ -275,6 +577,11 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_synchronizes_coincident_nodes() {
+        check_mode(HaloExchangeMode::Coalesced);
+    }
+
+    #[test]
     fn none_mode_is_identity() {
         let mesh = BoxMesh::new((2, 2, 2), 1, (1.0, 1.0, 1.0), false);
         let part = Partition::new(&mesh, 2, Strategy::Slab);
@@ -286,6 +593,14 @@ mod tests {
             let out = halo_exchange_apply(&a, g, &ctx);
             assert_eq!(out, a);
         });
+    }
+
+    #[test]
+    fn mode_display_matches_label() {
+        for mode in HaloExchangeMode::all() {
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(HaloExchangeMode::Coalesced.to_string(), "Coal-AG");
     }
 
     #[test]
@@ -323,6 +638,51 @@ mod tests {
         drop(stats);
     }
 
+    /// The trait's predicted traffic matches what the communicator measures,
+    /// for every strategy.
+    #[test]
+    fn predicted_traffic_matches_measured() {
+        let mesh = BoxMesh::new((4, 4, 2), 1, (1.0, 1.0, 1.0), false);
+        let part = Partition::new(&mesh, 4, Strategy::Pencil);
+        let graphs = Arc::new(build_distributed_graph(&mesh, &part));
+        let cols = 5;
+        for mode in HaloExchangeMode::all() {
+            let graphs = Arc::clone(&graphs);
+            World::run(4, move |comm| {
+                let g = &graphs[comm.rank()];
+                let ctx = HaloContext::new(comm.clone(), g, mode);
+                comm.stats_reset();
+                let a = Tensor::from_fn(g.n_local(), cols, |r, c| (r + c) as f64);
+                let _ = halo_exchange_apply(&a, g, &ctx);
+                let s = comm.stats_snapshot();
+                let predicted = ctx.strategy().traffic_per_exchange(g, comm.size(), cols);
+                let measured = ExchangeTraffic {
+                    messages: s.a2a_messages + s.sends + s.all_gathers * (comm.size() as u64 - 1),
+                    bytes: s.a2a_bytes + s.send_bytes + s.all_gather_bytes,
+                };
+                assert_eq!(predicted, measured, "mode {mode} traffic mismatch");
+            });
+        }
+    }
+
+    #[test]
+    fn coalesced_uses_one_collective_per_exchange() {
+        let mesh = BoxMesh::new((4, 4, 4), 1, (1.0, 1.0, 1.0), false);
+        let part = Partition::new(&mesh, 8, Strategy::Block);
+        let graphs = Arc::new(build_distributed_graph(&mesh, &part));
+        World::run(8, |comm| {
+            let g = &graphs[comm.rank()];
+            let ctx = HaloContext::new(comm.clone(), g, HaloExchangeMode::Coalesced);
+            comm.stats_reset();
+            let a = Tensor::from_fn(g.n_local(), 3, |r, _| r as f64);
+            let _ = halo_exchange_apply(&a, g, &ctx);
+            let s = comm.stats_snapshot();
+            assert_eq!(s.all_gathers, 1, "one fused collective");
+            assert_eq!(s.a2a_messages, 0);
+            assert_eq!(s.sends, 0);
+        });
+    }
+
     #[test]
     fn exchange_is_self_adjoint() {
         // <H a, b> == <a, H b> summed over all ranks with 1/d weights...
@@ -350,5 +710,51 @@ mod tests {
         let lhs: f64 = inner.iter().map(|&(l, _)| l).sum();
         let rhs: f64 = inner.iter().map(|&(_, r)| r).sum();
         assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    /// A custom strategy plugged in through `with_strategy` — the extension
+    /// point the trait exists for. This one wraps N-A2A and counts calls.
+    #[test]
+    fn custom_strategy_via_with_strategy() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Counting {
+            inner: NeighborAllToAll,
+            calls: AtomicU64,
+        }
+        impl HaloExchange for Counting {
+            fn label(&self) -> &'static str {
+                "counting"
+            }
+            fn is_consistent(&self) -> bool {
+                true
+            }
+            fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.exchange(a, graph, comm)
+            }
+        }
+
+        let mesh = BoxMesh::new((2, 2, 2), 1, (1.0, 1.0, 1.0), false);
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        let graphs = Arc::new(build_distributed_graph(&mesh, &part));
+        let calls = World::run(2, |comm| {
+            let g = &graphs[comm.rank()];
+            let strategy = Arc::new(Counting {
+                inner: NeighborAllToAll,
+                calls: AtomicU64::new(0),
+            });
+            let ctx = HaloContext::with_strategy(comm.clone(), strategy.clone());
+            assert_eq!(ctx.label(), "counting");
+            let a = Tensor::from_fn(g.n_local(), 2, |r, c| (r * 2 + c) as f64);
+            let reference = {
+                let na2a = HaloContext::new(comm.clone(), g, HaloExchangeMode::NeighborAllToAll);
+                halo_exchange_apply(&a, g, &na2a)
+            };
+            let out = halo_exchange_apply(&a, g, &ctx);
+            assert_eq!(out, reference, "wrapper must not change arithmetic");
+            strategy.calls.load(Ordering::Relaxed)
+        });
+        assert_eq!(calls, vec![1, 1]);
     }
 }

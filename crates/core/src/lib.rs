@@ -3,8 +3,9 @@
 //! The paper's primary contribution: **consistent neural message passing**
 //! for distributed mesh-based GNNs.
 //!
-//! * [`exchange`] — the four halo exchange implementations the paper
-//!   compares (None / A2A / Neighbor-A2A / Send-Recv),
+//! * [`exchange`] — the object-safe [`HaloExchange`] strategy trait with
+//!   the four implementations the paper compares (None / A2A /
+//!   Neighbor-A2A / Send-Recv) plus the coalesced all-gather extension,
 //! * [`mp_layer`] — the consistent NMP layer (paper Eq. 4) with a
 //!   differentiable halo swap recorded on the autodiff tape,
 //! * [`model`] — encode-process-decode GNN with the Table I configurations,
@@ -25,7 +26,10 @@ pub mod model;
 pub mod mp_layer;
 pub mod trainer;
 
-pub use exchange::{halo_exchange_apply, HaloContext, HaloExchangeMode};
+pub use exchange::{
+    halo_exchange_apply, CoalescedAllGather, DenseAllToAll, ExchangeTraffic, HaloContext,
+    HaloExchange, HaloExchangeMode, NeighborAllToAll, NoExchange, SendRecvExchange,
+};
 pub use loss::{all_reduce_scalar, consistent_mse, local_mse};
 pub use model::{ConsistentGnn, GnnConfig};
 pub use mp_layer::{halo_sync, ConsistentMpLayer, GraphIndices, HaloSyncOp};

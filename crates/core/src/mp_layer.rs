@@ -66,7 +66,7 @@ impl CustomOp for HaloSyncOp {
 
 /// Record the halo sync on the tape (performs the forward exchange).
 pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloContext) -> VarId {
-    if !ctx.mode.is_consistent() || ctx.comm.size() == 1 {
+    if !ctx.is_consistent() || ctx.comm.size() == 1 {
         // Identity; nothing to record.
         return a;
     }

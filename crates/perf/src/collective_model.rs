@@ -1,6 +1,7 @@
 //! Alpha-beta cost models for the collectives the consistent GNN issues:
 //! ring all-reduce (loss + DDP gradients), dense all-to-all (A2A halo
-//! exchange), and neighbour all-to-all (N-A2A halo exchange).
+//! exchange), neighbour all-to-all (N-A2A halo exchange), and ring
+//! all-gather (the coalesced fused-buffer halo exchange).
 
 use cgnn_graph::RankProfile;
 
@@ -52,6 +53,35 @@ pub fn dense_all_to_all_time(machine: &MachineModel, ranks: usize, buf_bytes: f6
             0.0
         };
     intra_time + inter_time + machine.intra_latency
+}
+
+/// Ring all-gather of one `contrib_bytes` fused buffer per rank (the
+/// coalesced halo exchange): a single collective entry — no per-neighbour
+/// message overheads — but every rank's contribution circulates the whole
+/// ring, so the bandwidth term grows with `ranks`. Cheap at modest rank
+/// counts where per-message overhead dominates N-A2A; collapses at scale
+/// like the dense A2A, only with smaller (exact-halo) buffers.
+pub fn all_gather_time(machine: &MachineModel, ranks: usize, contrib_bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n_nodes = machine.nodes_for(ranks);
+    if n_nodes <= 1 {
+        let steps = (ranks - 1) as f64;
+        machine.intra_latency + steps * contrib_bytes / machine.intra_bw
+    } else {
+        // Hierarchical ring: intra-node gather, then the inter-node ring of
+        // node-aggregated buffers over the NICs (the bottleneck), with
+        // tree-depth latency as in the all-reduce model.
+        let depth = (n_nodes as f64).log2().ceil();
+        let intra = machine.intra_latency
+            + (machine.ranks_per_node - 1) as f64 * contrib_bytes / machine.intra_bw;
+        let node_bytes = machine.ranks_per_node as f64 * contrib_bytes;
+        let inter = depth * machine.inter_latency
+            + (n_nodes - 1) as f64 * node_bytes
+                / (machine.node_nic_bw / machine.contention.mul_add((n_nodes as f64).log2(), 1.0));
+        intra + inter
+    }
 }
 
 /// Neighbour all-to-all: only real neighbour buffers are exchanged (the
@@ -126,6 +156,31 @@ mod tests {
         let dense = dense_all_to_all_time(&m, 2048, 3600.0 * bytes_per_node);
         let nbr = neighbor_all_to_all_time(&m, 0, 2048, &p, bytes_per_node);
         assert!(nbr < dense / 10.0, "dense={dense} nbr={nbr}");
+    }
+
+    #[test]
+    fn all_gather_beats_na2a_latency_at_small_scale_only() {
+        let m = MachineModel::frontier();
+        // Tiny per-neighbour buffers, many neighbours: message overhead
+        // dominates N-A2A, so a single fused collective wins on one node...
+        let p = profile(&[(1, 8), (2, 8), (3, 8), (4, 8), (5, 8), (6, 8), (7, 8)]);
+        let fused_bytes = 7.0 * 8.0 * 64.0;
+        let gather8 = all_gather_time(&m, 8, fused_bytes);
+        let na2a8 = neighbor_all_to_all_time(&m, 0, 8, &p, 64.0);
+        assert!(gather8 < na2a8, "gather {gather8} vs na2a {na2a8}");
+        // ...but the ring grows with rank count while N-A2A stays flat.
+        let gather2048 = all_gather_time(&m, 2048, fused_bytes);
+        let na2a2048 = neighbor_all_to_all_time(&m, 0, 2048, &p, 64.0);
+        assert!(gather2048 > na2a2048, "{gather2048} vs {na2a2048}");
+    }
+
+    #[test]
+    fn all_gather_grows_with_ranks() {
+        let m = MachineModel::frontier();
+        let t8 = all_gather_time(&m, 8, 1e6);
+        let t2048 = all_gather_time(&m, 2048, 1e6);
+        assert!(t2048 > 10.0 * t8, "t8={t8} t2048={t2048}");
+        assert_eq!(all_gather_time(&m, 1, 1e6), 0.0);
     }
 
     #[test]

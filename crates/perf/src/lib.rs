@@ -23,7 +23,9 @@ pub mod machine;
 pub mod weak_scaling;
 
 pub use calibrate::{measure_single_rank, Calibration};
-pub use collective_model::{all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time};
+pub use collective_model::{
+    all_gather_time, all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time,
+};
 pub use gnn_cost::{compute_time, iteration_work, param_count, RankWork};
 pub use machine::MachineModel;
 pub use weak_scaling::{

@@ -17,15 +17,15 @@ pub struct MachineModel {
     pub rank_mem_bw: f64,
     /// Intra-node GPU-GPU bandwidth per direction [B/s] (Infinity Fabric).
     pub intra_bw: f64,
-    /// Intra-node message latency [s].
+    /// Intra-node message latency \[s\].
     pub intra_latency: f64,
     /// NIC bandwidth per node [B/s] — 4 x 25 GB/s Slingshot NICs.
     pub node_nic_bw: f64,
-    /// Inter-node message latency [s].
+    /// Inter-node message latency \[s\].
     pub inter_latency: f64,
-    /// Per-message software/NIC overhead [s] (dominates dense all-to-all).
+    /// Per-message software/NIC overhead \[s\] (dominates dense all-to-all).
     pub msg_overhead: f64,
-    /// Fixed per-iteration framework overhead [s] (kernel launches, Python
+    /// Fixed per-iteration framework overhead \[s\] (kernel launches, Python
     /// dispatch in the original; scheduling here).
     pub iter_overhead: f64,
     /// Network contention growth coefficient: effective inter-node

@@ -13,7 +13,9 @@ use cgnn_mesh::BoxMesh;
 use cgnn_partition::Layout;
 use serde::Serialize;
 
-use crate::collective_model::{all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time};
+use crate::collective_model::{
+    all_gather_time, all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time,
+};
 use crate::gnn_cost::{compute_time, iteration_work, param_count};
 use crate::machine::MachineModel;
 
@@ -55,11 +57,11 @@ pub struct ScalingPoint {
     pub ranks: usize,
     /// Sum of per-rank local nodes (the paper's "total graph nodes").
     pub total_nodes: f64,
-    /// Modeled time of one training iteration [s] (max over ranks).
+    /// Modeled time of one training iteration \[s\] (max over ranks).
     pub iter_time: f64,
     /// Total throughput [nodes/s].
     pub throughput: f64,
-    /// Time breakdown [s]: compute, halo, all-reduce (loss + gradients).
+    /// Time breakdown \[s\]: compute, halo, all-reduce (loss + gradients).
     pub t_compute: f64,
     pub t_halo: f64,
     pub t_allreduce: f64,
@@ -151,9 +153,15 @@ fn iteration_time(
                 exchanges
                     * dense_all_to_all_time(machine, ranks, max_shared as f64 * bytes_per_shared)
             }
-            HaloExchangeMode::NeighborAllToAll | HaloExchangeMode::SendRecv => {
-                exchanges * neighbor_all_to_all_time(machine, rank, ranks, prof, bytes_per_shared)
+            HaloExchangeMode::Coalesced => {
+                // The fused buffer holds every neighbour's exact payload.
+                let fused_bytes = prof.stats.halo_nodes as f64 * bytes_per_shared;
+                exchanges * all_gather_time(machine, ranks, fused_bytes)
             }
+            // `HaloExchangeMode` is non-exhaustive; the neighbour-exact cost
+            // (N-A2A / Send-Recv) is the default for any mode that ships
+            // exact halos peer to peer. New collectives get their own arm.
+            _ => exchanges * neighbor_all_to_all_time(machine, rank, ranks, prof, bytes_per_shared),
         };
         let total = t_c + t_h + t_ar;
         if total > worst.0 {
@@ -205,8 +213,9 @@ pub fn weak_scaling_series(
     }
 }
 
-/// The full paper sweep: {small, large} x {256k, 512k} x {None, A2A, N-A2A}
-/// over ranks 8..=2048.
+/// The full paper sweep: {small, large} x {256k, 512k} x {None, A2A, N-A2A,
+/// Coal-AG} over ranks 8..=2048 — the paper's three exchange settings plus
+/// the coalesced fused-buffer extension as a fourth priced curve.
 pub fn paper_sweep(machine: &MachineModel) -> Vec<ScalingSeries> {
     let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect(); // 8..2048
     let mut out = Vec::new();
@@ -216,6 +225,7 @@ pub fn paper_sweep(machine: &MachineModel) -> Vec<ScalingSeries> {
                 HaloExchangeMode::None,
                 HaloExchangeMode::AllToAll,
                 HaloExchangeMode::NeighborAllToAll,
+                HaloExchangeMode::Coalesced,
             ] {
                 out.push(weak_scaling_series(
                     machine, name, &config, &loading, mode, &ranks,
@@ -366,6 +376,37 @@ mod tests {
             }
         }
         assert!(rel.iter().all(|&x| x <= 1.0 + 1e-9));
+    }
+
+    /// The coalesced fused-buffer exchange trades per-message overhead for
+    /// replicated bandwidth: it must collapse with rank count (like dense
+    /// A2A, unlike N-A2A) while staying cheaper than dense A2A, whose
+    /// padded buffers carry dummy traffic on top of the replication.
+    #[test]
+    fn coalesced_sits_between_na2a_and_dense_a2a_at_scale() {
+        let m = MachineModel::frontier();
+        let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect();
+        let config = GnnConfig::large();
+        let loading = Loading::nominal_512k();
+        let series = |mode| weak_scaling_series(&m, "large", &config, &loading, mode, &ranks);
+        let base = series(HaloExchangeMode::None);
+        let rel = |mode| relative_throughput(&series(mode), &base);
+        let coal = rel(HaloExchangeMode::Coalesced);
+        let na2a = rel(HaloExchangeMode::NeighborAllToAll);
+        let dense = rel(HaloExchangeMode::AllToAll);
+        let last = ranks.len() - 1;
+        assert!(
+            coal[last] < na2a[last],
+            "coalesced must collapse at 2048 ranks: coal {} vs na2a {}",
+            coal[last],
+            na2a[last]
+        );
+        assert!(
+            coal[last] > dense[last],
+            "coalesced ships exact halos, so it beats padded dense A2A: {} vs {}",
+            coal[last],
+            dense[last]
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The typed builder assembling a [`Session`].
+
+use std::sync::Arc;
+
+use cgnn_comm::Comm;
+use cgnn_core::{GnnConfig, HaloContext, HaloExchange, HaloExchangeMode};
+use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
+use cgnn_mesh::BoxMesh;
+use cgnn_partition::{Partition, Strategy};
+
+use crate::session::Session;
+
+/// Factory producing a per-rank exchange strategy. Runs inside the SPMD
+/// region, once per rank, so its body may issue collective setup.
+type ExchangeFactory = Arc<dyn Fn(&Comm, &LocalGraph) -> Arc<dyn HaloExchange> + Send + Sync>;
+
+/// How a session realizes its halo exchanges: a built-in mode, or a custom
+/// strategy factory (the trait-object extension point).
+#[derive(Clone)]
+pub enum ExchangeSpec {
+    /// One of the built-in [`HaloExchangeMode`] strategies.
+    Mode(HaloExchangeMode),
+    /// A custom strategy factory with a display label.
+    Custom {
+        label: &'static str,
+        factory: ExchangeFactory,
+    },
+}
+
+impl ExchangeSpec {
+    /// Display label of the configured exchange.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeSpec::Mode(m) => m.label(),
+            ExchangeSpec::Custom { label, .. } => label,
+        }
+    }
+
+    /// Build the per-rank halo context. Collective (strategy constructors
+    /// may all-reduce/all-gather their communication plans). The configured
+    /// strategy is built even at R = 1 — the halo sync itself is an identity
+    /// there (`halo_sync` short-circuits single-rank worlds), so arithmetic
+    /// matches hand-wired `HaloContext::single` code while label and traffic
+    /// introspection still see the strategy the user asked for.
+    pub(crate) fn context(&self, comm: &Comm, graph: &LocalGraph) -> HaloContext {
+        match self {
+            ExchangeSpec::Mode(m) => HaloContext::new(comm.clone(), graph, *m),
+            ExchangeSpec::Custom { factory, .. } => {
+                HaloContext::with_strategy(comm.clone(), factory(comm, graph))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ExchangeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExchangeSpec({})", self.label())
+    }
+}
+
+/// What can go wrong assembling a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No mesh was supplied.
+    MissingMesh,
+    /// `ranks` was zero.
+    ZeroRanks,
+    /// More ranks than mesh elements: some rank would own nothing.
+    TooManyRanks { ranks: usize, elements: usize },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingMesh => write!(f, "Session::builder() needs .mesh(...)"),
+            SessionError::ZeroRanks => write!(f, "a session needs at least one rank"),
+            SessionError::TooManyRanks { ranks, elements } => write!(
+                f,
+                "cannot give {ranks} ranks at least one of {elements} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Typed builder for [`Session`]: supply the mesh, choose the partition
+/// strategy, rank count, exchange strategy, model configuration, seed, and
+/// learning rate; `build()` does the mesh → partition → graph wiring once.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    mesh: Option<BoxMesh>,
+    strategy: Strategy,
+    ranks: usize,
+    exchange: ExchangeSpec,
+    config: GnnConfig,
+    seed: u64,
+    lr: f64,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            mesh: None,
+            strategy: Strategy::Block,
+            ranks: 1,
+            exchange: ExchangeSpec::Mode(HaloExchangeMode::NeighborAllToAll),
+            config: GnnConfig::small(),
+            seed: 0,
+            lr: 1e-3,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// The spectral-element mesh driving everything downstream. Required.
+    pub fn mesh(mut self, mesh: BoxMesh) -> Self {
+        self.mesh = Some(mesh);
+        self
+    }
+
+    /// Element-to-rank decomposition strategy (default [`Strategy::Block`]).
+    pub fn partition(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Number of SPMD thread-ranks (default 1 = un-partitioned).
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Built-in halo exchange strategy (default
+    /// [`HaloExchangeMode::NeighborAllToAll`], the paper's efficient
+    /// variant).
+    pub fn exchange(mut self, mode: HaloExchangeMode) -> Self {
+        self.exchange = ExchangeSpec::Mode(mode);
+        self
+    }
+
+    /// Custom halo exchange strategy: `factory` runs once per rank inside
+    /// the SPMD region (so it may issue collective setup) and returns the
+    /// strategy object driving that rank's exchanges.
+    pub fn exchange_with<F>(mut self, label: &'static str, factory: F) -> Self
+    where
+        F: Fn(&Comm, &LocalGraph) -> Arc<dyn HaloExchange> + Send + Sync + 'static,
+    {
+        self.exchange = ExchangeSpec::Custom {
+            label,
+            factory: Arc::new(factory),
+        };
+        self
+    }
+
+    /// GNN architecture (default [`GnnConfig::small`], paper Table I).
+    pub fn model(mut self, config: GnnConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Parameter initialization seed — identical on every rank, which is
+    /// how the DDP replicas share their initial state (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adam learning rate (default `1e-3`).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Assemble the session: validate, partition the mesh, and build every
+    /// rank's reduced distributed graph (or the global R = 1 graph).
+    pub fn build(self) -> Result<Session, SessionError> {
+        let mesh = self.mesh.ok_or(SessionError::MissingMesh)?;
+        if self.ranks == 0 {
+            return Err(SessionError::ZeroRanks);
+        }
+        if mesh.num_elements() < self.ranks {
+            return Err(SessionError::TooManyRanks {
+                ranks: self.ranks,
+                elements: mesh.num_elements(),
+            });
+        }
+        let (partition, graphs) = if self.ranks == 1 {
+            (None, vec![Arc::new(build_global_graph(&mesh))])
+        } else {
+            let part = Partition::new(&mesh, self.ranks, self.strategy);
+            let graphs = build_distributed_graph(&mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            (Some(part), graphs)
+        };
+        Ok(Session::assembled(
+            Arc::new(mesh),
+            partition,
+            graphs,
+            self.exchange,
+            self.config,
+            self.seed,
+            self.lr,
+        ))
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-rank driving handle passed to [`Session::run`](crate::Session::run)
+//! closures.
+
+use std::sync::Arc;
+
+use cgnn_comm::{Comm, StatsSnapshot};
+use cgnn_core::{RankData, Trainer};
+use cgnn_graph::LocalGraph;
+use cgnn_mesh::TaylorGreen;
+use cgnn_tensor::Tensor;
+
+/// One rank's view of a running session: its communicator, its reduced
+/// distributed graph, and a trainer wired to the session's halo exchange.
+/// Everything the hand-written SPMD closures used to assemble per rank.
+pub struct RankHandle {
+    comm: Comm,
+    graph: Arc<LocalGraph>,
+    trainer: Trainer,
+    label: &'static str,
+}
+
+impl RankHandle {
+    pub(crate) fn new(
+        comm: Comm,
+        graph: Arc<LocalGraph>,
+        trainer: Trainer,
+        label: &'static str,
+    ) -> Self {
+        RankHandle {
+            comm,
+            graph,
+            trainer,
+            label,
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The underlying communicator (for custom collectives).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// This rank's reduced distributed graph.
+    pub fn graph(&self) -> &Arc<LocalGraph> {
+        &self.graph
+    }
+
+    /// Borrow the trainer (model, parameters, optimizer, halo context).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Mutably borrow the trainer for custom training schedules.
+    pub fn trainer_mut(&mut self) -> &mut Trainer {
+        &mut self.trainer
+    }
+
+    /// Display label of this session's halo exchange, matching
+    /// [`Session::exchange_label`](crate::Session::exchange_label) (for a
+    /// custom strategy this is the builder's label; the strategy object's
+    /// own label stays reachable via `trainer().ctx.label()`).
+    pub fn exchange_label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Build rank-local training data from raw node-feature and target
+    /// buffers (both `n_local * NODE_FEATS`, row-major).
+    pub fn data(&self, x: Vec<f64>, target: Vec<f64>) -> RankData {
+        RankData::new(Arc::clone(&self.graph), x, target)
+    }
+
+    /// The paper's demonstration task: autoencode the Taylor-Green velocity
+    /// field at time `t`.
+    pub fn autoencode_data(&self, field: &TaylorGreen, t: f64) -> RankData {
+        RankData::tgv_autoencode(Arc::clone(&self.graph), field, t)
+    }
+
+    /// Forecasting task: predict the velocity at `t1` from the field at
+    /// `t0`.
+    pub fn forecast_data(&self, field: &TaylorGreen, t0: f64, t1: f64) -> RankData {
+        RankData::tgv_forecast(Arc::clone(&self.graph), field, t0, t1)
+    }
+
+    /// One training iteration (forward, backward, DDP reduce, Adam step).
+    /// Collective. Returns the pre-update loss.
+    pub fn step(&mut self, data: &RankData) -> f64 {
+        self.trainer.step(data)
+    }
+
+    /// Run `iterations` training steps, returning the loss history.
+    /// Collective.
+    pub fn train(&mut self, data: &RankData, iterations: usize) -> Vec<f64> {
+        self.trainer.train(data, iterations)
+    }
+
+    /// Consistent loss of the current parameters, no update. Collective.
+    pub fn eval_loss(&self, data: &RankData) -> f64 {
+        self.trainer.eval_loss(data)
+    }
+
+    /// Inference: forward pass returning the prediction matrix. Collective
+    /// when the exchange is consistent.
+    pub fn predict(&self, data: &RankData) -> Tensor {
+        self.trainer.predict(data)
+    }
+
+    /// Autoregressive rollout of `steps` model applications.
+    pub fn rollout(&self, data: &RankData, steps: usize) -> Vec<Tensor> {
+        self.trainer.rollout(data, steps)
+    }
+
+    /// Sum-all-reduce a scalar across ranks. Collective.
+    pub fn all_reduce_scalar(&self, v: f64) -> f64 {
+        self.comm.all_reduce_scalar(v)
+    }
+
+    /// Snapshot this rank's communication traffic counters.
+    pub fn traffic(&self) -> StatsSnapshot {
+        self.comm.stats_snapshot()
+    }
+
+    /// Reset this rank's communication traffic counters.
+    pub fn traffic_reset(&self) {
+        self.comm.stats_reset()
+    }
+}

@@ -1,0 +1,43 @@
+//! # cgnn-session
+//!
+//! The composable front-end for the whole pipeline of the paper (SEM mesh →
+//! partition → local graphs → halo-consistent NMP → DDP training): a typed
+//! [`SessionBuilder`] owns the wiring that every example and benchmark used
+//! to repeat by hand, and a [`Session`] drives SPMD execution through
+//! per-rank [`RankHandle`]s.
+//!
+//! ```
+//! use cgnn_core::HaloExchangeMode;
+//! use cgnn_mesh::{BoxMesh, TaylorGreen};
+//! use cgnn_partition::Strategy;
+//! use cgnn_session::Session;
+//!
+//! let session = Session::builder()
+//!     .mesh(BoxMesh::tgv_cube(2, 2))
+//!     .partition(Strategy::Block)
+//!     .ranks(2)
+//!     .exchange(HaloExchangeMode::NeighborAllToAll)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! let field = TaylorGreen::new(0.01);
+//! let histories = session.run(|h| {
+//!     let data = h.autoencode_data(&field, 0.0);
+//!     h.train(&data, 3)
+//! });
+//! assert_eq!(histories[0], histories[1], "replicas stay in lockstep");
+//! ```
+//!
+//! Exchange strategies are pluggable: the builder accepts either a
+//! [`HaloExchangeMode`](cgnn_core::HaloExchangeMode) (the built-ins of
+//! paper Sec. III plus the coalesced extension) or, via
+//! [`SessionBuilder::exchange_with`], any custom
+//! [`HaloExchange`](cgnn_core::HaloExchange) factory.
+
+pub mod builder;
+pub mod handle;
+pub mod session;
+
+pub use builder::{ExchangeSpec, SessionBuilder, SessionError};
+pub use handle::RankHandle;
+pub use session::Session;

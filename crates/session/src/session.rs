@@ -1,0 +1,262 @@
+//! The assembled [`Session`]: owns the wired pipeline and drives SPMD
+//! execution through per-rank [`RankHandle`]s.
+
+use std::sync::Arc;
+
+use cgnn_comm::World;
+use cgnn_core::{GnnConfig, Trainer};
+use cgnn_graph::LocalGraph;
+use cgnn_mesh::{BoxMesh, TaylorGreen};
+use cgnn_partition::Partition;
+
+use crate::builder::{ExchangeSpec, SessionBuilder};
+use crate::handle::RankHandle;
+
+/// A fully wired pipeline instance: mesh, partition, per-rank graphs, and
+/// the recipe (exchange strategy, model config, seed, learning rate) for
+/// constructing each rank's trainer. Cheap to clone-per-run: the expensive
+/// graph construction happened once in [`SessionBuilder::build`].
+///
+/// [`Session::run`] spawns one OS thread per rank (the in-process "MPI"
+/// world), hands each a [`RankHandle`], and returns the per-rank results in
+/// rank order. Repeated `run` calls reuse the same graphs but build fresh
+/// trainers, so every run starts from the same seeded state — which is what
+/// makes builder sessions reproduce hand-wired loss trajectories bit for
+/// bit.
+pub struct Session {
+    mesh: Arc<BoxMesh>,
+    partition: Option<Partition>,
+    graphs: Vec<Arc<LocalGraph>>,
+    exchange: ExchangeSpec,
+    config: GnnConfig,
+    seed: u64,
+    lr: f64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("ranks", &self.ranks())
+            .field("elements", &self.mesh.num_elements())
+            .field("exchange", &self.exchange.label())
+            .field("hidden", &self.config.hidden)
+            .field("seed", &self.seed)
+            .field("lr", &self.lr)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Entry point: a default-configured [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    pub(crate) fn assembled(
+        mesh: Arc<BoxMesh>,
+        partition: Option<Partition>,
+        graphs: Vec<Arc<LocalGraph>>,
+        exchange: ExchangeSpec,
+        config: GnnConfig,
+        seed: u64,
+        lr: f64,
+    ) -> Self {
+        Session {
+            mesh,
+            partition,
+            graphs,
+            exchange,
+            config,
+            seed,
+            lr,
+        }
+    }
+
+    /// Number of SPMD ranks this session drives.
+    pub fn ranks(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// The mesh everything was derived from.
+    pub fn mesh(&self) -> &Arc<BoxMesh> {
+        &self.mesh
+    }
+
+    /// The element decomposition (`None` for un-partitioned R = 1).
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Rank `rank`'s reduced distributed graph.
+    pub fn graph(&self, rank: usize) -> &Arc<LocalGraph> {
+        &self.graphs[rank]
+    }
+
+    /// All per-rank graphs, in rank order.
+    pub fn graphs(&self) -> &[Arc<LocalGraph>] {
+        &self.graphs
+    }
+
+    /// The model configuration each rank trains.
+    pub fn config(&self) -> GnnConfig {
+        self.config
+    }
+
+    /// Display label of the configured halo exchange.
+    pub fn exchange_label(&self) -> &'static str {
+        self.exchange.label()
+    }
+
+    /// A sibling session differing only in its exchange strategy. The
+    /// expensive state (mesh, partition, per-rank graphs) is shared, not
+    /// rebuilt — this is how mode-comparison sweeps (Fig. 6, traffic
+    /// tables) price several strategies against one wiring.
+    pub fn with_exchange(&self, mode: cgnn_core::HaloExchangeMode) -> Session {
+        Session {
+            mesh: Arc::clone(&self.mesh),
+            partition: self.partition.clone(),
+            graphs: self.graphs.clone(),
+            exchange: ExchangeSpec::Mode(mode),
+            config: self.config,
+            seed: self.seed,
+            lr: self.lr,
+        }
+    }
+
+    /// Run `f` on every rank (one OS thread each), returning the per-rank
+    /// results in rank order. Each rank's [`RankHandle`] arrives with its
+    /// graph, halo context, and freshly seeded trainer already wired.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankHandle) -> T + Sync,
+    {
+        World::run(self.ranks(), |comm| {
+            let graph = Arc::clone(&self.graphs[comm.rank()]);
+            let ctx = self.exchange.context(comm, &graph);
+            let trainer = Trainer::new(self.config, self.seed, self.lr, ctx);
+            let mut handle = RankHandle::new(comm.clone(), graph, trainer, self.exchange.label());
+            f(&mut handle)
+        })
+    }
+
+    /// Convenience: train every rank on the Taylor-Green autoencoding task
+    /// (the paper's demonstration protocol) and return the per-rank loss
+    /// histories. With a consistent exchange all histories are identical.
+    pub fn train_autoencode(
+        &self,
+        field: &TaylorGreen,
+        t: f64,
+        iterations: usize,
+    ) -> Vec<Vec<f64>> {
+        self.run(|h| {
+            let data = h.autoencode_data(field, t);
+            h.train(&data, iterations)
+        })
+    }
+
+    /// Convenience: evaluate the consistent loss of the freshly seeded
+    /// (untrained) model on the autoencoding task — the quantity swept in
+    /// the paper's Fig. 6 (left). Identical on every rank; rank 0's value
+    /// is returned.
+    pub fn initial_loss(&self, field: &TaylorGreen, t: f64) -> f64 {
+        self.run(|h| {
+            let data = h.autoencode_data(field, t);
+            h.eval_loss(&data)
+        })[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SessionError;
+    use cgnn_core::HaloExchangeMode;
+    use cgnn_partition::Strategy;
+
+    fn mesh() -> BoxMesh {
+        BoxMesh::tgv_cube(2, 2)
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert_eq!(
+            Session::builder().build().unwrap_err(),
+            SessionError::MissingMesh
+        );
+        assert_eq!(
+            Session::builder()
+                .mesh(mesh())
+                .ranks(0)
+                .build()
+                .unwrap_err(),
+            SessionError::ZeroRanks
+        );
+        assert_eq!(
+            Session::builder()
+                .mesh(mesh())
+                .ranks(99)
+                .build()
+                .unwrap_err(),
+            SessionError::TooManyRanks {
+                ranks: 99,
+                elements: 8
+            }
+        );
+    }
+
+    #[test]
+    fn single_rank_session_covers_global_graph() {
+        let s = Session::builder().mesh(mesh()).build().unwrap();
+        assert_eq!(s.ranks(), 1);
+        assert!(s.partition().is_none());
+        assert_eq!(s.graph(0).n_local(), s.mesh().num_global_nodes());
+    }
+
+    #[test]
+    fn distributed_session_trains_in_lockstep() {
+        let s = Session::builder()
+            .mesh(mesh())
+            .ranks(2)
+            .partition(Strategy::Slab)
+            .exchange(HaloExchangeMode::NeighborAllToAll)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(s.exchange_label(), "N-A2A");
+        let field = TaylorGreen::new(0.01);
+        let histories = s.train_autoencode(&field, 0.0, 5);
+        assert_eq!(histories.len(), 2);
+        assert_eq!(histories[0], histories[1], "replicas diverged");
+        assert!(histories[0][4] < histories[0][0], "loss did not drop");
+    }
+
+    #[test]
+    fn repeated_runs_restart_from_the_same_seed() {
+        let s = Session::builder().mesh(mesh()).seed(3).build().unwrap();
+        let field = TaylorGreen::new(0.01);
+        let a = s.train_autoencode(&field, 0.0, 4);
+        let b = s.train_autoencode(&field, 0.0, 4);
+        assert_eq!(a, b, "runs must be independent and reproducible");
+    }
+
+    #[test]
+    fn handles_expose_traffic_stats() {
+        let s = Session::builder()
+            .mesh(mesh())
+            .ranks(2)
+            .exchange(HaloExchangeMode::Coalesced)
+            .build()
+            .unwrap();
+        let field = TaylorGreen::new(0.01);
+        let stats = s.run(|h| {
+            let data = h.autoencode_data(&field, 0.0);
+            h.traffic_reset();
+            h.step(&data);
+            h.traffic()
+        });
+        // 4 MP layers, forward + backward, one fused collective each.
+        assert_eq!(stats[0].all_gathers, 8);
+        assert!(stats[0].all_gather_bytes > 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Tape-based reverse-mode automatic differentiation.
 //!
 //! Each rank (thread) owns one [`Tape`] per forward pass. Operations append
-//! [`Node`]s recording the op kind and parent variables; [`Tape::backward`]
+//! nodes recording the op kind and parent variables; [`Tape::backward`]
 //! walks the nodes in reverse, propagating adjoints. Distributed operations
 //! (halo swaps, all-reduces) are [`CustomOp`]s whose backward closures carry
 //! a communicator handle — this is the Rust analogue of the differentiable

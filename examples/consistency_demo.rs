@@ -1,6 +1,7 @@
 //! Consistency demonstration (paper Fig. 6, left): evaluate a randomly
 //! initialized GNN + consistent loss on the same mesh partitioned onto
-//! R = 1..=32 thread-ranks, with and without halo exchanges.
+//! R = 1..=32 thread-ranks, with and without halo exchanges. One `Session`
+//! per configuration; the builder owns all wiring.
 //!
 //! The consistent formulation reproduces the R = 1 loss at every R; the
 //! standard (no-exchange) formulation deviates, increasingly with R.
@@ -9,34 +10,9 @@
 //! cargo run --release --example consistency_demo
 //! ```
 
-use std::sync::Arc;
+use cgnn::prelude::*;
 
-use cgnn::comm::World;
-use cgnn::core::{
-    consistent_mse, ConsistentGnn, GnnConfig, GraphIndices, HaloContext, HaloExchangeMode,
-};
-use cgnn::graph::{
-    build_distributed_graph, build_global_graph, edge_features, node_velocity_features, LocalGraph,
-};
-use cgnn::mesh::{BoxMesh, TaylorGreen};
-use cgnn::partition::{Partition, Strategy};
-use cgnn::tensor::{Tape, Tensor};
-
-fn eval_loss(g: &Arc<LocalGraph>, ctx: &HaloContext, field: &TaylorGreen) -> f64 {
-    let (params, model) = ConsistentGnn::seeded(GnnConfig::small(), 123);
-    let x_buf = node_velocity_features(g, field, 0.0);
-    let e_buf = edge_features(g, &x_buf, 3);
-    let idx = GraphIndices::from_graph(g);
-    let mut tape = Tape::new();
-    let bound = params.bind(&mut tape);
-    let x = tape.leaf(Tensor::from_vec(g.n_local(), 3, x_buf.clone()));
-    let e = tape.leaf(Tensor::from_vec(g.n_edges(), 7, e_buf));
-    let y = model.forward(&mut tape, &bound, x, e, g, &idx, ctx);
-    // Target = input, as in the paper's demonstration.
-    let target = Tensor::from_vec(g.n_local(), 3, x_buf);
-    let l = consistent_mse(&mut tape, y, &target, g, &idx.node_inv_degree, &ctx.comm);
-    tape.value(l).item()
-}
+const SEED: u64 = 123;
 
 fn main() {
     // Paper: cubic domain of 32^3 elements at p = 1; we default to 12^3 to
@@ -52,13 +28,18 @@ fn main() {
         elems,
         mesh.num_global_nodes()
     );
+    let base = || {
+        Session::builder()
+            .mesh(mesh.clone())
+            .partition(Strategy::Block)
+            .model(GnnConfig::small())
+            .seed(SEED)
+    };
 
-    let global = Arc::new(build_global_graph(&mesh));
-    let g1 = Arc::clone(&global);
-    let reference = World::run(1, move |comm| {
-        let ctx = HaloContext::single(comm.clone());
-        eval_loss(&g1, &ctx, &field)
-    })[0];
+    let reference = base()
+        .build()
+        .expect("R=1 session")
+        .initial_loss(&field, 0.0);
     println!("R = 1 reference loss: {reference:.12e}\n");
     println!(
         "{:>5} {:>18} {:>18} {:>14} {:>14}",
@@ -69,24 +50,14 @@ fn main() {
         if mesh.num_elements() < r {
             break;
         }
-        let part = Partition::new(&mesh, r, Strategy::Block);
-        let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-            build_distributed_graph(&mesh, &part)
-                .into_iter()
-                .map(Arc::new)
-                .collect(),
-        );
+        // One wiring per R; swap only the exchange strategy between modes.
+        let wired = base().ranks(r).build().expect("session");
         let mut losses = [0.0f64; 2];
         for (k, mode) in [HaloExchangeMode::None, HaloExchangeMode::NeighborAllToAll]
             .into_iter()
             .enumerate()
         {
-            let graphs = Arc::clone(&graphs);
-            losses[k] = World::run(r, move |comm| {
-                let g = Arc::clone(&graphs[comm.rank()]);
-                let ctx = HaloContext::new(comm.clone(), &g, mode);
-                eval_loss(&g, &ctx, &field)
-            })[0];
+            losses[k] = wired.with_exchange(mode).initial_loss(&field, 0.0);
         }
         println!(
             "{:>5} {:>18.10e} {:>18.10e} {:>14.3e} {:>14.3e}",

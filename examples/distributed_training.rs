@@ -7,18 +7,13 @@
 //!
 //! and print the three loss curves side by side. The consistent curve
 //! overlaps the target to rounding precision; the standard curve drifts.
+//! Each configuration is one `Session` differing only in builder calls.
 //!
 //! ```sh
 //! cargo run --release --example distributed_training
 //! ```
 
-use std::sync::Arc;
-
-use cgnn::comm::World;
-use cgnn::core::{GnnConfig, HaloContext, HaloExchangeMode, RankData, Trainer};
-use cgnn::graph::{build_distributed_graph, build_global_graph, LocalGraph};
-use cgnn::mesh::{BoxMesh, TaylorGreen};
-use cgnn::partition::{Partition, Strategy};
+use cgnn::prelude::*;
 
 const SEED: u64 = 17;
 const LR: f64 = 1e-3;
@@ -28,44 +23,38 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    let mesh = BoxMesh::new((6, 6, 6), 2, (1.0, 1.0, 1.0), false);
     let field = TaylorGreen::new(0.01);
+    let mesh = BoxMesh::new((6, 6, 6), 2, (1.0, 1.0, 1.0), false);
     println!(
         "mesh: 6^3 elements p=2, {} unique nodes; {iters} iterations\n",
         mesh.num_global_nodes()
     );
+    let base = || {
+        Session::builder()
+            .mesh(mesh.clone())
+            .partition(Strategy::Block)
+            .model(GnnConfig::small())
+            .seed(SEED)
+            .learning_rate(LR)
+    };
 
     // Target: R = 1.
-    let global = Arc::new(build_global_graph(&mesh));
-    let target = World::run(1, |comm| {
-        let ctx = HaloContext::single(comm.clone());
-        let mut t = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
-        let data = RankData::tgv_autoencode(Arc::clone(&global), &field, 0.0);
-        t.train(&data, iters)
-    })
-    .pop()
-    .expect("history");
-
-    // R = 8, consistent and standard.
-    let part = Partition::new(&mesh, 8, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-        build_distributed_graph(&mesh, &part)
-            .into_iter()
-            .map(Arc::new)
-            .collect(),
-    );
-    let mut curves = Vec::new();
-    for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None] {
-        let graphs = Arc::clone(&graphs);
-        let hist = World::run(8, move |comm| {
-            let g = Arc::clone(&graphs[comm.rank()]);
-            let ctx = HaloContext::new(comm.clone(), &g, mode);
-            let mut t = Trainer::new(GnnConfig::small(), SEED, LR, ctx);
-            let data = RankData::tgv_autoencode(g, &field, 0.0);
-            t.train(&data, iters)
-        })
+    let target = base()
+        .build()
+        .expect("R=1 session")
+        .train_autoencode(&field, 0.0, iters)
         .pop()
         .expect("history");
+
+    // R = 8, consistent and standard — one wiring, two exchange strategies.
+    let r8 = base().ranks(8).build().expect("R=8 session");
+    let mut curves = Vec::new();
+    for mode in [HaloExchangeMode::NeighborAllToAll, HaloExchangeMode::None] {
+        let hist = r8
+            .with_exchange(mode)
+            .train_autoencode(&field, 0.0, iters)
+            .pop()
+            .expect("history");
         curves.push(hist);
     }
 

@@ -1,54 +1,55 @@
-//! Quickstart: build a spectral-element mesh, derive its graph, and train a
-//! consistent GNN on one rank to autoencode a Taylor-Green velocity field.
+//! Quickstart: build a spectral-element mesh and train a consistent GNN on
+//! one rank to autoencode a Taylor-Green velocity field — all wiring done
+//! by the `Session` builder.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
-
-use cgnn::comm::World;
-use cgnn::core::{GnnConfig, HaloContext, RankData, Trainer};
-use cgnn::graph::build_global_graph;
-use cgnn::mesh::{BoxMesh, TaylorGreen};
+use cgnn::prelude::*;
 
 fn main() {
-    // 1. A 4^3-element periodic box at polynomial order p = 3: the mesh the
-    //    CFD solver would hand us.
-    let mesh = BoxMesh::tgv_cube(4, 3);
+    // A 4^3-element periodic box at polynomial order p = 3 (the mesh the
+    // CFD solver would hand us), wired through the builder: mesh -> graph
+    // -> seeded model, un-partitioned (R = 1).
+    let session = Session::builder()
+        .mesh(BoxMesh::tgv_cube(4, 3))
+        .model(GnnConfig::small())
+        .seed(42)
+        .learning_rate(1e-3)
+        .build()
+        .expect("valid session");
+
+    let mesh = session.mesh();
     println!(
         "mesh: {} elements at p = {}, {} unique nodes",
         mesh.num_elements(),
         mesh.order(),
         mesh.num_global_nodes()
     );
-
-    // 2. The mesh-based graph: GLL quadrature points become nodes, lattice
-    //    links become edges, coincident nodes are collapsed.
-    let graph = Arc::new(build_global_graph(&mesh));
     println!(
         "graph: {} nodes, {} directed edges",
-        graph.n_local(),
-        graph.n_edges()
+        session.graph(0).n_local(),
+        session.graph(0).n_edges()
     );
 
-    // 3. Node features: the Taylor-Green vortex velocity at t = 0.
+    // Node features: the Taylor-Green vortex velocity at t = 0. Train the
+    // paper's "small" GNN configuration to reproduce its input (the
+    // autoencoding demonstration task of the paper's Sec. III-A).
     let field = TaylorGreen::new(0.01);
-
-    // 4. Train the paper's "small" GNN configuration to reproduce its input
-    //    (the autoencoding demonstration task of the paper's Sec. III-A).
-    let history = World::run(1, |comm| {
-        let ctx = HaloContext::single(comm.clone());
-        let mut trainer = Trainer::new(GnnConfig::small(), 42, 1e-3, ctx);
-        println!(
-            "model: {} trainable parameters",
-            trainer.model.num_scalars()
-        );
-        let data = RankData::tgv_autoencode(Arc::clone(&graph), &field, 0.0);
-        trainer.train(&data, 100)
-    })
-    .pop()
-    .expect("one history");
+    let history = session
+        .run(|h| {
+            if h.rank() == 0 {
+                println!(
+                    "model: {} trainable parameters",
+                    h.trainer().model.num_scalars()
+                );
+            }
+            let data = h.autoencode_data(&field, 0.0);
+            h.train(&data, 100)
+        })
+        .pop()
+        .expect("one history");
 
     for (i, l) in history.iter().enumerate() {
         if i % 10 == 0 || i == history.len() - 1 {

@@ -2,7 +2,8 @@
 //! spectral-element solver plays NekRS and generates a pair of velocity
 //! snapshots; a distributed consistent GNN then learns the coarse
 //! time-advancement map `u(t0) -> u(t1)` and is evaluated on held-out
-//! prediction error at the nodes.
+//! prediction error at the nodes. The GNN side is one `Session` with
+//! custom per-rank data plugged in through the rank handles.
 //!
 //! ```sh
 //! cargo run --release --example tgv_surrogate
@@ -10,11 +11,7 @@
 
 use std::sync::Arc;
 
-use cgnn::comm::World;
-use cgnn::core::{GnnConfig, HaloContext, HaloExchangeMode, RankData, Trainer};
-use cgnn::graph::{build_distributed_graph, LocalGraph};
-use cgnn::mesh::BoxMesh;
-use cgnn::partition::{Partition, Strategy};
+use cgnn::prelude::*;
 use cgnn::sem::SnapshotPair;
 
 fn main() {
@@ -26,32 +23,32 @@ fn main() {
     );
     let pair = Arc::new(SnapshotPair::tgv_diffusion(&mesh, 0.5, 5e-4, 100));
 
-    // 2. Partition the mesh the same way the solver would.
+    // 2.+3. Partition the mesh the way the solver would and train the
+    //    forecasting GNN on R = 4 thread-ranks.
     let ranks = 4;
-    let part = Partition::new(&mesh, ranks, Strategy::Block);
-    let graphs: Arc<Vec<Arc<LocalGraph>>> = Arc::new(
-        build_distributed_graph(&mesh, &part)
-            .into_iter()
-            .map(Arc::new)
-            .collect(),
-    );
+    let session = Session::builder()
+        .mesh(mesh.clone())
+        .partition(Strategy::Block)
+        .ranks(ranks)
+        .exchange(HaloExchangeMode::NeighborAllToAll)
+        .model(GnnConfig::small())
+        .seed(11)
+        .learning_rate(2e-3)
+        .build()
+        .expect("session");
 
-    // 3. Train the forecasting GNN on R = 4 thread-ranks.
     let iters: usize = std::env::var("CGNN_ITERS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
-    let results = World::run(ranks, {
-        let graphs = Arc::clone(&graphs);
+    let results = session.run({
         let pair = Arc::clone(&pair);
-        move |comm| {
-            let g = Arc::clone(&graphs[comm.rank()]);
-            let ctx = HaloContext::new(comm.clone(), &g, HaloExchangeMode::NeighborAllToAll);
-            let mut trainer = Trainer::new(GnnConfig::small(), 11, 2e-3, ctx);
-            let data = RankData::new(Arc::clone(&g), pair.rank_input(&g), pair.rank_target(&g));
-            let history = trainer.train(&data, iters);
+        move |h| {
+            let data = h.data(pair.rank_input(h.graph()), pair.rank_target(h.graph()));
+            let history = h.train(&data, iters);
             // 4. Evaluate: per-node RMS prediction error vs the solver truth.
-            let pred = trainer.predict(&data);
+            let pred = h.predict(&data);
+            let g = h.graph();
             let mut se = 0.0;
             for i in 0..g.n_local() {
                 for c in 0..3 {
@@ -59,11 +56,11 @@ fn main() {
                     se += g.node_inv_degree[i] * d * d;
                 }
             }
-            (history, se, comm.all_reduce_scalar(se))
+            (history, h.all_reduce_scalar(se))
         }
     });
 
-    let (history, _, global_se) = &results[0];
+    let (history, global_se) = &results[0];
     println!("trained {} iterations on {} ranks", iters, ranks);
     for (i, l) in history.iter().enumerate() {
         if i % (iters / 10).max(1) == 0 {
@@ -75,7 +72,7 @@ fn main() {
     // Scale of the target field for context.
     let target_rms = {
         let mut s = 0.0;
-        let g = &graphs[0];
+        let g = session.graph(0);
         for i in 0..g.n_local() {
             for c in 0..3 {
                 let v = pair.rank_target(g)[i * 3 + c];

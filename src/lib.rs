@@ -1,4 +1,23 @@
 //! `cgnn` — umbrella crate re-exporting the full workspace.
+//!
+//! Most programs only need [`prelude`]:
+//!
+//! ```
+//! use cgnn::prelude::*;
+//!
+//! let session = Session::builder()
+//!     .mesh(BoxMesh::tgv_cube(2, 2))
+//!     .ranks(2)
+//!     .partition(Strategy::Block)
+//!     .exchange(HaloExchangeMode::NeighborAllToAll)
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid session");
+//! let field = TaylorGreen::new(0.01);
+//! let histories = session.train_autoencode(&field, 0.0, 2);
+//! assert_eq!(histories[0], histories[1]);
+//! ```
+
 pub use cgnn_comm as comm;
 pub use cgnn_core as core;
 pub use cgnn_graph as graph;
@@ -6,4 +25,21 @@ pub use cgnn_mesh as mesh;
 pub use cgnn_partition as partition;
 pub use cgnn_perf as perf;
 pub use cgnn_sem as sem;
+pub use cgnn_session as session;
 pub use cgnn_tensor as tensor;
+
+/// The types almost every program touches: the session front-end, the mesh
+/// and field generators, partitioning, the halo exchange strategies, the
+/// trainer, and the traffic counters.
+pub mod prelude {
+    pub use cgnn_comm::{Comm, StatsSnapshot, World};
+    pub use cgnn_core::{
+        halo_exchange_apply, ConsistentGnn, ExchangeTraffic, GnnConfig, HaloContext, HaloExchange,
+        HaloExchangeMode, RankData, Trainer,
+    };
+    pub use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
+    pub use cgnn_mesh::{BoxMesh, TaylorGreen};
+    pub use cgnn_partition::{Partition, Strategy};
+    pub use cgnn_session::{RankHandle, Session, SessionBuilder, SessionError};
+    pub use cgnn_tensor::{Tape, Tensor};
+}

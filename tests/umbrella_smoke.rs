@@ -10,6 +10,7 @@ use cgnn::mesh::{BoxMesh, GllRule};
 use cgnn::partition::{Partition, Strategy};
 use cgnn::perf::MachineModel;
 use cgnn::sem::ElementOps;
+use cgnn::session::Session;
 use cgnn::tensor::{Tape, Tensor};
 
 #[test]
@@ -45,10 +46,10 @@ fn umbrella_reexports_resolve_and_construct() {
     let machine = MachineModel::frontier();
     assert_eq!(machine.ranks_per_node, 8);
 
-    // core config exists and names an exchange mode
+    // core config exists and names an exchange mode (with Display)
     let cfg = GnnConfig::small();
     assert!(cfg.hidden > 0);
-    let _ = HaloExchangeMode::NeighborAllToAll;
+    assert_eq!(HaloExchangeMode::NeighborAllToAll.to_string(), "N-A2A");
 
     // comm: a 2-rank world runs a deterministic all-reduce
     let sums = World::run(2, |comm| {
@@ -57,4 +58,33 @@ fn umbrella_reexports_resolve_and_construct() {
         buf[0]
     });
     assert_eq!(sums, vec![3.0, 3.0]);
+
+    // session: the builder wires the same mesh end to end
+    let session = Session::builder()
+        .mesh(mesh.clone())
+        .ranks(2)
+        .partition(Strategy::Slab)
+        .exchange(HaloExchangeMode::NeighborAllToAll)
+        .build()
+        .expect("session assembles");
+    assert_eq!(session.ranks(), 2);
+    assert_eq!(session.exchange_label(), "N-A2A");
+}
+
+/// The prelude pulls in every name the examples need, and nothing clashes.
+#[test]
+fn prelude_compiles_and_resolves() {
+    use cgnn::prelude::*;
+    let session = Session::builder()
+        .mesh(BoxMesh::tgv_cube(2, 2))
+        .ranks(2)
+        .exchange(HaloExchangeMode::Coalesced)
+        .seed(5)
+        .build()
+        .expect("session");
+    let field = TaylorGreen::new(0.01);
+    let histories = session.train_autoencode(&field, 0.0, 2);
+    assert_eq!(histories[0], histories[1]);
+    let _: ExchangeTraffic = ExchangeTraffic::default();
+    let _: StatsSnapshot = StatsSnapshot::default();
 }
