@@ -16,7 +16,7 @@ fn main() {
         print!("{:>6}", "ranks");
         let mut curves = Vec::new();
         for model in ["large", "small"] {
-            for mode in ["A2A", "N-A2A", "Coal-AG"] {
+            for mode in ["A2A", "N-A2A", "Coal-AG", "Ovl-SR"] {
                 let s = series
                     .iter()
                     .find(|s| s.loading == loading && s.model == model && s.mode == mode)
@@ -55,7 +55,10 @@ fn main() {
          - smaller sub-graphs drop below 0.9 beyond ~128 ranks\n\
          - beyond the paper: Coal-AG (one fused all-gather per exchange)\n\
            tracks N-A2A at small rank counts but collapses like a ring —\n\
-           its replicated buffers price the latency/bandwidth trade"
+           its replicated buffers price the latency/bandwidth trade\n\
+         - beyond the paper: Ovl-SR (non-blocking isend/irecv, posted before\n\
+           waiting) dominates blocking N-A2A — the machine model's overlap\n\
+           fraction of its transfer time hides behind the node MLP"
     );
     write_json("fig8", &out);
 }

@@ -1,0 +1,377 @@
+//! The deterministic loopback transport: ranks execute **one at a time**,
+//! scheduled round-robin at communication points.
+//!
+//! Exactly one rank makes progress at any instant. Rank 0 runs first; a
+//! rank keeps executing user code until a communication operation cannot
+//! complete (a barrier with peers missing, a receive with no matching
+//! message), at which point it hands the baton to the next rank in index
+//! order. OS threads serve only as coroutine stacks — no two ranks ever run
+//! concurrently, so the operation schedule is a pure function of the
+//! program: reproducible traces for debugging, zero-sync reference
+//! semantics for CI, and a cross-check that nothing in the stack depends on
+//! the thread world's real concurrency.
+//!
+//! Liveness is supervised: if the baton completes several full cycles with
+//! every live rank blocked, the world is deadlocked (mismatched collective
+//! schedules, a receive whose send never comes) and the backend panics with
+//! a diagnostic instead of hanging — and a rank that panics poisons the
+//! scheduler so its peers fail fast too.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::backend::{run_ranks, CommBackend, P2pMsg, PostQueue, RecvOp};
+use crate::comm::Comm;
+use crate::stats::RankStats;
+
+/// Scheduler + transport state, all behind one lock (uncontended by
+/// construction: only the baton holder mutates it).
+struct State {
+    /// Whose turn it is to execute.
+    turn: usize,
+    /// Ranks whose SPMD closure has returned.
+    done: Vec<bool>,
+    /// Set when a rank panics or a deadlock is detected; wakes every
+    /// waiter into a panic instead of an infinite sleep.
+    poisoned: bool,
+    /// Consecutive baton passes without any operation completing; a full
+    /// cycle of these means every live rank is blocked.
+    idle_passes: usize,
+    /// Cooperative barrier: arrival count and completion generation.
+    barrier_arrived: usize,
+    barrier_gen: u64,
+    /// All-gather contribution slots (label + payload), one per rank.
+    gather: Vec<Option<(&'static str, Vec<f64>)>>,
+    /// All-to-all slots: `a2a[src][dst]`.
+    a2a: Vec<Vec<Option<Vec<f64>>>>,
+    /// Point-to-point inboxes: `mail[dst][src]`.
+    mail: Vec<Vec<PostQueue>>,
+}
+
+/// Shared world of a [`SerialBackend`] run.
+pub struct SerialBackend {
+    size: usize,
+    state: Mutex<State>,
+    baton: Condvar,
+    stats: Vec<RankStats>,
+}
+
+impl SerialBackend {
+    /// Run `f` on `size` ranks over the serial transport, returning each
+    /// rank's result in rank order. Ranks execute one at a time,
+    /// round-robin; panics in any rank propagate (and unblock peers).
+    pub fn launch<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let world = Arc::new(SerialBackend {
+            size,
+            state: Mutex::new(State {
+                turn: 0,
+                done: vec![false; size],
+                poisoned: false,
+                idle_passes: 0,
+                barrier_arrived: 0,
+                barrier_gen: 0,
+                gather: (0..size).map(|_| None).collect(),
+                a2a: (0..size)
+                    .map(|_| (0..size).map(|_| None).collect())
+                    .collect(),
+                mail: (0..size)
+                    .map(|_| (0..size).map(|_| PostQueue::default()).collect())
+                    .collect(),
+            }),
+            baton: Condvar::new(),
+            stats: (0..size).map(|_| RankStats::default()).collect(),
+        });
+        run_ranks(size, f, |rank| {
+            Arc::new(SerialRank {
+                rank,
+                world: Arc::clone(&world),
+            })
+        })
+    }
+}
+
+/// One rank's view of a [`SerialBackend`] world.
+#[derive(Clone)]
+struct SerialRank {
+    rank: usize,
+    world: Arc<SerialBackend>,
+}
+
+impl SerialRank {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.world
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn check_poison(st: &State) {
+        if st.poisoned {
+            panic!("serial backend: a peer rank panicked or deadlocked");
+        }
+    }
+
+    /// Next rank after `from` whose closure has not finished.
+    fn next_live(st: &State, from: usize, size: usize) -> usize {
+        for k in 1..=size {
+            let r = (from + k) % size;
+            if !st.done[r] {
+                return r;
+            }
+        }
+        from
+    }
+
+    /// Hand the baton to the next live rank. Called while blocked, so it
+    /// also feeds the deadlock supervisor.
+    fn yield_turn(&self, st: &mut State) {
+        st.idle_passes += 1;
+        if st.idle_passes > 4 * self.world.size + 16 {
+            st.poisoned = true;
+            self.world.baton.notify_all();
+            panic!(
+                "serial backend deadlock: every live rank is blocked \
+                 (mismatched collective schedules or a receive whose send never comes)"
+            );
+        }
+        st.turn = Self::next_live(st, self.rank, self.world.size);
+        self.world.baton.notify_all();
+    }
+
+    /// Cooperatively block until `ready` produces a value. Must be called
+    /// while this rank holds the baton (the invariant for all user code on
+    /// a serial world); the baton is retained on return, so the rank
+    /// continues executing.
+    fn wait_until<R>(&self, mut ready: impl FnMut(&mut State) -> Option<R>) -> R {
+        let mut st = self.lock();
+        debug_assert_eq!(
+            st.turn, self.rank,
+            "serial backend invariant broken: comm op issued off-turn"
+        );
+        loop {
+            Self::check_poison(&st);
+            if let Some(r) = ready(&mut st) {
+                st.idle_passes = 0;
+                return r;
+            }
+            self.yield_turn(&mut st);
+            while st.turn != self.rank {
+                Self::check_poison(&st);
+                st = self
+                    .world
+                    .baton
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// A non-blocking state mutation performed while holding the baton.
+    fn with_state<R>(&self, op: impl FnOnce(&mut State) -> R) -> R {
+        let mut st = self.lock();
+        Self::check_poison(&st);
+        debug_assert_eq!(
+            st.turn, self.rank,
+            "serial backend invariant broken: comm op issued off-turn"
+        );
+        op(&mut st)
+    }
+}
+
+impl CommBackend for SerialRank {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.size
+    }
+
+    fn label(&self) -> &'static str {
+        "serial"
+    }
+
+    fn barrier(&self) {
+        let size = self.world.size;
+        // First visit registers the arrival; later visits (after yielding)
+        // watch for the generation to advance. The last arriver completes
+        // the barrier and keeps the baton.
+        let mut registered: Option<u64> = None;
+        self.wait_until(|st| match registered {
+            None => {
+                let gen = st.barrier_gen;
+                st.barrier_arrived += 1;
+                if st.barrier_arrived == size {
+                    st.barrier_arrived = 0;
+                    st.barrier_gen += 1;
+                    Some(())
+                } else {
+                    registered = Some(gen);
+                    None
+                }
+            }
+            Some(gen) => (st.barrier_gen != gen).then_some(()),
+        })
+    }
+
+    fn all_gather(&self, label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
+        self.with_state(|st| st.gather[self.rank] = Some((label, data)));
+        self.barrier();
+        let out = self.with_state(|st| {
+            let mut out = Vec::with_capacity(st.gather.len());
+            for slot in &st.gather {
+                let (op, data) = slot.as_ref().expect("collective slot empty");
+                assert_eq!(
+                    *op, label,
+                    "collective mismatch: rank {} is in `{}` while another rank is in `{}`",
+                    self.rank, label, op
+                );
+                out.push(data.clone());
+            }
+            out
+        });
+        // Second barrier: nobody may overwrite slots until everyone has read.
+        self.barrier();
+        out
+    }
+
+    fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        self.with_state(|st| {
+            for (dst, buf) in send.into_iter().enumerate() {
+                st.a2a[self.rank][dst] = Some(buf);
+            }
+        });
+        self.barrier();
+        let out = self.with_state(|st| {
+            (0..self.world.size)
+                .map(|src| {
+                    st.a2a[src][self.rank]
+                        .take()
+                        .expect("all_to_all slot empty: mismatched collective sequence")
+                })
+                .collect()
+        });
+        self.barrier();
+        out
+    }
+
+    fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
+        self.with_state(|st| st.mail[dst][self.rank].deliver((tag, data)));
+    }
+
+    fn irecv(&self, src: usize) -> Box<dyn RecvOp> {
+        let seq = self.with_state(|st| st.mail[self.rank][src].post());
+        Box::new(SerialRecvOp {
+            rank: self.clone(),
+            src,
+            seq,
+        })
+    }
+
+    fn stats(&self) -> &RankStats {
+        &self.world.stats[self.rank]
+    }
+
+    fn on_rank_start(&self) {
+        // Wait for the baton before running any user code: rank 0 starts,
+        // everyone else queues in index order.
+        let mut st = self.lock();
+        while st.turn != self.rank {
+            Self::check_poison(&st);
+            st = self
+                .world
+                .baton
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn on_rank_finish(&self, panicked: bool) {
+        let mut st = self.lock();
+        st.done[self.rank] = true;
+        if panicked {
+            st.poisoned = true;
+        }
+        if st.turn == self.rank {
+            st.turn = Self::next_live(&st, self.rank, self.world.size);
+        }
+        self.world.baton.notify_all();
+    }
+}
+
+/// A posted receive against a serial-world inbox.
+struct SerialRecvOp {
+    rank: SerialRank,
+    src: usize,
+    seq: u64,
+}
+
+impl RecvOp for SerialRecvOp {
+    fn try_take(&mut self) -> Option<P2pMsg> {
+        let (me, src, seq) = (self.rank.rank, self.src, self.seq);
+        self.rank.with_state(|st| st.mail[me][src].claim(seq))
+    }
+
+    fn take(&mut self) -> P2pMsg {
+        let (me, src, seq) = (self.rank.rank, self.src, self.seq);
+        self.rank.wait_until(|st| st.mail[me][src].claim(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+
+    /// The defining property: ranks are single-stepped in a deterministic
+    /// round-robin, so an execution trace is identical across runs — and
+    /// the first "round" is exactly rank order.
+    #[test]
+    fn schedule_is_deterministic_round_robin() {
+        let trace = || {
+            let log = Mutex::new(Vec::new());
+            Backend::Serial.launch(3, |comm| {
+                for _ in 0..3 {
+                    log.lock().unwrap().push(comm.rank());
+                    comm.barrier();
+                }
+            });
+            log.into_inner().unwrap()
+        };
+        let a = trace();
+        let b = trace();
+        assert_eq!(a, b, "serial schedule must be reproducible");
+        assert_eq!(&a[..3], &[0, 1, 2], "first round runs in rank order");
+        for round in a.chunks(3) {
+            let mut round = round.to_vec();
+            round.sort_unstable();
+            assert_eq!(round, vec![0, 1, 2], "each round covers every rank");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn blocked_world_panics_instead_of_hanging() {
+        // Both ranks wait for a message nobody sends.
+        Backend::Serial.launch(2, |comm| {
+            let other = 1 - comm.rank();
+            comm.recv(other, 0);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates_and_unblocks_peers() {
+        Backend::Serial.launch(2, |comm| {
+            if comm.rank() == 0 {
+                panic!("rank 0 exploded");
+            }
+            // Rank 1 would wait forever without poison propagation.
+            comm.barrier();
+        });
+    }
+}

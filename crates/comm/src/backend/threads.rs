@@ -1,0 +1,204 @@
+//! The default transport: one OS thread per rank sharing slot tables,
+//! barriers, and buffered channels — mirroring the paper's
+//! one-GPU-per-MPI-rank setup with real in-process concurrency.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::backend::{run_ranks, CommBackend, P2pMsg, PostQueue, RecvOp};
+use crate::comm::Comm;
+use crate::stats::RankStats;
+
+/// Per-source inbox: the buffered channel plus the FIFO matcher between
+/// posted receives and arrivals. Only the owning (destination) rank ever
+/// locks it; senders go through the paired [`Sender`].
+struct Mailbox {
+    rx: Receiver<P2pMsg>,
+    queue: PostQueue,
+}
+
+impl Mailbox {
+    /// Pull everything currently buffered in the channel into the matcher.
+    fn drain(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.queue.deliver(msg);
+        }
+    }
+}
+
+/// Shared state backing one world of `size` thread-ranks.
+pub struct ThreadWorld {
+    size: usize,
+    barrier: Barrier,
+    /// All-reduce / all-gather contribution slots, one per rank. Each entry
+    /// carries the op label so mismatched collective sequences fail loudly
+    /// instead of producing garbage.
+    gather_slots: Vec<Mutex<Option<(&'static str, Vec<f64>)>>>,
+    /// All-to-all slots: `a2a_slots[src][dst]`.
+    a2a_slots: Vec<Vec<Mutex<Option<Vec<f64>>>>>,
+    /// Point-to-point senders, indexed `[src][dst]`.
+    senders: Vec<Vec<Sender<P2pMsg>>>,
+    /// Point-to-point inboxes, indexed `[dst][src]`.
+    mailboxes: Vec<Vec<Mutex<Mailbox>>>,
+    stats: Vec<RankStats>,
+}
+
+impl ThreadWorld {
+    /// Run `f` on `size` ranks (one OS thread each) over this transport,
+    /// returning each rank's result in rank order.
+    pub fn launch<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let world = Arc::new(ThreadWorld::new(size));
+        run_ranks(size, f, |rank| {
+            Arc::new(ThreadRank {
+                rank,
+                world: Arc::clone(&world),
+            })
+        })
+    }
+
+    fn new(size: usize) -> Self {
+        assert!(size > 0, "world size must be positive");
+        let mut senders: Vec<Vec<Sender<P2pMsg>>> = (0..size).map(|_| Vec::new()).collect();
+        let mut mailboxes: Vec<Vec<Mutex<Mailbox>>> = (0..size).map(|_| Vec::new()).collect();
+        for src in 0..size {
+            for dst in 0..size {
+                let (tx, rx) = unbounded();
+                senders[src].push(tx);
+                // mailboxes[dst][src]: pushing in src-major order into each
+                // dst list gives exactly the by-source layout.
+                mailboxes[dst].push(Mutex::new(Mailbox {
+                    rx,
+                    queue: PostQueue::default(),
+                }));
+            }
+        }
+        ThreadWorld {
+            size,
+            barrier: Barrier::new(size),
+            gather_slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            a2a_slots: (0..size)
+                .map(|_| (0..size).map(|_| Mutex::new(None)).collect())
+                .collect(),
+            senders,
+            mailboxes,
+            stats: (0..size).map(|_| RankStats::default()).collect(),
+        }
+    }
+}
+
+/// One rank's view of a [`ThreadWorld`].
+struct ThreadRank {
+    rank: usize,
+    world: Arc<ThreadWorld>,
+}
+
+impl CommBackend for ThreadRank {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.size
+    }
+
+    fn label(&self) -> &'static str {
+        "threads"
+    }
+
+    fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    fn all_gather(&self, label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
+        *self.world.gather_slots[self.rank].lock() = Some((label, data));
+        self.world.barrier.wait();
+        let mut out = Vec::with_capacity(self.world.size);
+        for slot in &self.world.gather_slots {
+            let guard = slot.lock();
+            let (op, data) = guard.as_ref().expect("collective slot empty");
+            assert_eq!(
+                *op, label,
+                "collective mismatch: rank {} is in `{}` while another rank is in `{}`",
+                self.rank, label, op
+            );
+            out.push(data.clone());
+        }
+        // Second barrier: nobody may overwrite slots until everyone has read.
+        self.world.barrier.wait();
+        out
+    }
+
+    fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        for (dst, buf) in send.into_iter().enumerate() {
+            *self.world.a2a_slots[self.rank][dst].lock() = Some(buf);
+        }
+        self.world.barrier.wait();
+        let mut out = Vec::with_capacity(self.world.size);
+        for src in 0..self.world.size {
+            let buf = self.world.a2a_slots[src][self.rank]
+                .lock()
+                .take()
+                .expect("all_to_all slot empty: mismatched collective sequence");
+            out.push(buf);
+        }
+        self.world.barrier.wait();
+        out
+    }
+
+    fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
+        self.world.senders[self.rank][dst]
+            .send((tag, data))
+            .expect("p2p channel closed");
+    }
+
+    fn irecv(&self, src: usize) -> Box<dyn RecvOp> {
+        let seq = self.world.mailboxes[self.rank][src].lock().queue.post();
+        Box::new(ThreadRecvOp {
+            world: Arc::clone(&self.world),
+            me: self.rank,
+            src,
+            seq,
+        })
+    }
+
+    fn stats(&self) -> &RankStats {
+        &self.world.stats[self.rank]
+    }
+}
+
+/// A posted receive against a [`ThreadWorld`] mailbox. Must be completed on
+/// the posting rank (the mailbox is single-consumer).
+struct ThreadRecvOp {
+    world: Arc<ThreadWorld>,
+    me: usize,
+    src: usize,
+    seq: u64,
+}
+
+impl RecvOp for ThreadRecvOp {
+    fn try_take(&mut self) -> Option<P2pMsg> {
+        let mut mb = self.world.mailboxes[self.me][self.src].lock();
+        mb.drain();
+        mb.queue.claim(self.seq)
+    }
+
+    fn take(&mut self) -> P2pMsg {
+        // Holding the mailbox lock across the blocking channel recv is fine:
+        // only the owning rank ever locks its own mailbox.
+        let mut mb = self.world.mailboxes[self.me][self.src].lock();
+        loop {
+            mb.drain();
+            if let Some(msg) = mb.queue.claim(self.seq) {
+                return msg;
+            }
+            let msg = mb.rx.recv().expect("p2p channel closed");
+            mb.queue.deliver(msg);
+        }
+    }
+}

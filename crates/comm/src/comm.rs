@@ -1,0 +1,584 @@
+//! The backend-agnostic communicator handle and the [`World`] launcher.
+//!
+//! [`Comm`] is a thin, cloneable handle over an `Arc<dyn CommBackend>`:
+//! the deterministic reduction arithmetic, traffic accounting, and tag
+//! checking live here — once — while the trait object supplies raw
+//! transport primitives. Swapping transports therefore cannot change
+//! arithmetic: every backend is bit-identical by construction.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::backend::{Backend, CommBackend, RecvOp, SendOp};
+use crate::stats::{RankStats, StatsSnapshot};
+
+/// Per-rank communicator handle. Cloneable; clones refer to the same world
+/// and the same rank (so they can be captured by autodiff backward
+/// closures). All operations route through the [`CommBackend`] trait
+/// object, so the handle works identically over every transport.
+#[derive(Clone)]
+pub struct Comm {
+    backend: Arc<dyn CommBackend>,
+}
+
+/// A collection of `R` ranks executing the same SPMD closure.
+///
+/// [`World::run`] is a convenience over [`Backend::launch`] using the
+/// environment-selected transport ([`Backend::from_env`], i.e. the
+/// `CGNN_BACKEND` variable, defaulting to the thread world) — which is how
+/// one test suite exercises every backend.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks of the environment-selected backend,
+    /// returning each rank's result in rank order. Panics in any rank
+    /// propagate.
+    ///
+    /// ```
+    /// use cgnn_comm::World;
+    /// let sums = World::run(4, |comm| {
+    ///     let mut v = [comm.rank() as f64];
+    ///     comm.all_reduce_sum(&mut v);
+    ///     v[0]
+    /// });
+    /// assert_eq!(sums, vec![6.0; 4]);
+    /// ```
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        Backend::from_env().launch(size, f)
+    }
+}
+
+impl Comm {
+    /// Wrap a transport into a communicator handle. This is the entry
+    /// point for custom [`CommBackend`] implementations; the in-tree
+    /// backends go through [`Backend::launch`].
+    pub fn from_backend(backend: Arc<dyn CommBackend>) -> Self {
+        Comm { backend }
+    }
+
+    /// The transport this handle runs on.
+    pub fn backend(&self) -> &Arc<dyn CommBackend> {
+        &self.backend
+    }
+
+    /// The transport's label (`"threads"`, `"serial"`, ...).
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.backend.rank()
+    }
+
+    pub fn size(&self) -> usize {
+        self.backend.size()
+    }
+
+    fn stats(&self) -> &RankStats {
+        self.backend.stats()
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.stats().barriers.fetch_add(1, Ordering::Relaxed);
+        self.backend.barrier();
+    }
+
+    /// Deterministic all-reduce (sum) over `buf`, in place.
+    ///
+    /// Every rank sums the per-rank contributions in rank order, so all
+    /// ranks compute bit-identical results — essential for keeping DDP
+    /// replicas in lockstep without parameter broadcasts.
+    pub fn all_reduce_sum(&self, buf: &mut [f64]) {
+        let parts = self.backend.all_gather("all_reduce_sum", buf.to_vec());
+        self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
+        self.stats()
+            .all_reduce_bytes
+            .fetch_add(std::mem::size_of_val(buf) as u64, Ordering::Relaxed);
+        buf.fill(0.0);
+        for part in &parts {
+            assert_eq!(
+                part.len(),
+                buf.len(),
+                "all_reduce_sum length mismatch across ranks"
+            );
+            for (b, &p) in buf.iter_mut().zip(part.iter()) {
+                *b += p;
+            }
+        }
+    }
+
+    /// All-reduce a single scalar (sum).
+    pub fn all_reduce_scalar(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.all_reduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Deterministic all-reduce (max).
+    pub fn all_reduce_max(&self, buf: &mut [f64]) {
+        let parts = self.backend.all_gather("all_reduce_max", buf.to_vec());
+        self.stats().all_reduces.fetch_add(1, Ordering::Relaxed);
+        self.stats()
+            .all_reduce_bytes
+            .fetch_add(std::mem::size_of_val(buf) as u64, Ordering::Relaxed);
+        buf.fill(f64::NEG_INFINITY);
+        for part in &parts {
+            for (b, &p) in buf.iter_mut().zip(part.iter()) {
+                *b = b.max(p);
+            }
+        }
+    }
+
+    /// Gather every rank's buffer; result is indexed by rank and identical
+    /// on all ranks. Contributions may have different lengths per rank.
+    ///
+    /// Traffic accounting: the contribution is replicated to every other
+    /// rank, so `len * 8 * (R - 1)` bytes are charged (the internal gathers
+    /// backing [`Comm::all_reduce_sum`] are charged as all-reduce bytes
+    /// instead and do not hit these counters).
+    pub fn all_gather(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let st = self.stats();
+        st.all_gathers.fetch_add(1, Ordering::Relaxed);
+        st.all_gather_bytes.fetch_add(
+            (data.len() * std::mem::size_of::<f64>()) as u64 * (self.size() as u64 - 1),
+            Ordering::Relaxed,
+        );
+        self.backend.all_gather("all_gather", data)
+    }
+
+    /// All-to-all exchange. `send[dst]` is the buffer for rank `dst`; empty
+    /// buffers mean "no traffic to that peer" (the paper's Neighbor-AllToAll
+    /// trick of passing `torch.empty(0)` for non-neighbours). Returns
+    /// `recv[src]`, the buffer sent to this rank by rank `src`.
+    pub fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(
+            send.len(),
+            self.size(),
+            "all_to_all needs one buffer per rank"
+        );
+        let st = self.stats();
+        st.all_to_alls.fetch_add(1, Ordering::Relaxed);
+        for (dst, buf) in send.iter().enumerate() {
+            if dst != self.rank() && !buf.is_empty() {
+                st.a2a_messages.fetch_add(1, Ordering::Relaxed);
+                st.a2a_bytes.fetch_add(
+                    (buf.len() * std::mem::size_of::<f64>()) as u64,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        self.backend.all_to_all(send)
+    }
+
+    /// Point-to-point send (buffered, never blocks).
+    pub fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        self.count_send(&data);
+        self.backend.send(dst, tag, data);
+    }
+
+    /// Blocking receive from `src`; the next message's tag must equal `tag`
+    /// (matching is FIFO per peer, so a mismatch means the program's
+    /// communication schedules diverged).
+    pub fn recv(&self, src: usize, tag: u32) -> Vec<f64> {
+        assert!(src < self.size(), "recv from invalid rank {src}");
+        let (got_tag, data) = self.backend.recv(src);
+        self.check_tag(src, tag, got_tag);
+        self.count_recv(&data);
+        data
+    }
+
+    /// Begin a non-blocking send: the payload is handed to the transport
+    /// and a wait-able [`SendRequest`] is returned. On the in-tree buffered
+    /// backends the request completes immediately; callers must still
+    /// [`SendRequest::wait`] it so the code is correct over transports with
+    /// real rendezvous sends.
+    pub fn isend(&self, dst: usize, tag: u32, data: Vec<f64>) -> SendRequest {
+        assert!(dst < self.size(), "isend to invalid rank {dst}");
+        self.count_send(&data);
+        SendRequest {
+            op: self.backend.isend(dst, tag, data),
+        }
+    }
+
+    /// Post a non-blocking receive for the next unmatched message from
+    /// `src`, returning a wait-able [`RecvRequest`]. Matching is FIFO per
+    /// source (requests may be *completed* in any order; each still
+    /// receives the message matching its posting position). Every posted
+    /// request must eventually be waited or tested to completion on the
+    /// posting rank, or its matched message is lost.
+    pub fn irecv(&self, src: usize, tag: u32) -> RecvRequest {
+        assert!(src < self.size(), "irecv from invalid rank {src}");
+        RecvRequest {
+            op: self.backend.irecv(src),
+            comm: self.clone(),
+            src,
+            tag,
+            ready: None,
+        }
+    }
+
+    fn count_send(&self, data: &[f64]) {
+        let st = self.stats();
+        st.sends.fetch_add(1, Ordering::Relaxed);
+        st.send_bytes
+            .fetch_add(std::mem::size_of_val(data) as u64, Ordering::Relaxed);
+    }
+
+    fn count_recv(&self, data: &[f64]) {
+        let st = self.stats();
+        st.recvs.fetch_add(1, Ordering::Relaxed);
+        st.recv_bytes
+            .fetch_add(std::mem::size_of_val(data) as u64, Ordering::Relaxed);
+    }
+
+    fn check_tag(&self, src: usize, want: u32, got: u32) {
+        assert_eq!(
+            got,
+            want,
+            "rank {} expected tag {want} from {src} but got {got}",
+            self.rank()
+        );
+    }
+
+    /// Snapshot this rank's traffic counters.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+
+    /// Reset this rank's traffic counters.
+    pub fn stats_reset(&self) {
+        self.stats().reset()
+    }
+}
+
+/// Wait-able handle to an in-flight non-blocking send (see
+/// [`Comm::isend`]).
+pub struct SendRequest {
+    op: Box<dyn SendOp>,
+}
+
+impl SendRequest {
+    /// Poll for completion without blocking.
+    pub fn test(&mut self) -> bool {
+        self.op.try_complete()
+    }
+
+    /// Block until the transport owns the payload.
+    pub fn wait(mut self) {
+        self.op.complete()
+    }
+}
+
+/// Wait-able handle to an in-flight non-blocking receive (see
+/// [`Comm::irecv`]). Completion — whether through [`RecvRequest::test`] or
+/// [`RecvRequest::wait`] — checks the message tag and records the
+/// recv-side traffic counters exactly once.
+pub struct RecvRequest {
+    op: Box<dyn RecvOp>,
+    comm: Comm,
+    src: usize,
+    tag: u32,
+    ready: Option<Vec<f64>>,
+}
+
+impl RecvRequest {
+    /// The rank this request receives from.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request expects.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Poll: returns true once the matched message has arrived (after
+    /// which [`RecvRequest::wait`] returns it without blocking).
+    pub fn test(&mut self) -> bool {
+        if self.ready.is_none() {
+            if let Some((got_tag, data)) = self.op.try_take() {
+                self.finish(got_tag, data);
+            }
+        }
+        self.ready.is_some()
+    }
+
+    /// Block until the matched message arrives and take its payload.
+    pub fn wait(mut self) -> Vec<f64> {
+        if self.ready.is_none() {
+            let (got_tag, data) = self.op.take();
+            self.finish(got_tag, data);
+        }
+        self.ready.take().expect("payload present after completion")
+    }
+
+    fn finish(&mut self, got_tag: u32, data: Vec<f64>) {
+        self.comm.check_tag(self.src, self.tag, got_tag);
+        self.comm.count_recv(&data);
+        self.ready = Some(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run a closure on every in-tree backend: the API contract below must
+    /// hold transport-independently.
+    fn on_every_backend<T: Send, F: Fn(&Comm) -> T + Sync>(size: usize, f: F) -> Vec<Vec<T>> {
+        Backend::all()
+            .into_iter()
+            .map(|b| b.launch(size, &f))
+            .collect()
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.all_reduce_scalar(5.0)
+        });
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_deterministic_and_identical() {
+        for out in on_every_backend(7, |comm| {
+            let mut v = vec![comm.rank() as f64 * 0.1, 1.0];
+            comm.all_reduce_sum(&mut v);
+            v
+        }) {
+            for v in &out {
+                assert_eq!(v, &out[0], "ranks disagree on reduced value");
+            }
+            assert!((out[0][1] - 7.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn all_reduce_max_works() {
+        for out in on_every_backend(4, |comm| {
+            let mut v = vec![-(comm.rank() as f64), comm.rank() as f64];
+            comm.all_reduce_max(&mut v);
+            v
+        }) {
+            assert_eq!(out[0], vec![0.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_exchanges_rank_tagged_buffers() {
+        for out in on_every_backend(4, |comm| {
+            let send: Vec<Vec<f64>> = (0..4)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as f64])
+                .collect();
+            comm.all_to_all(send)
+        }) {
+            for (dst, recv) in out.iter().enumerate() {
+                for (src, buf) in recv.iter().enumerate() {
+                    assert_eq!(buf, &vec![(src * 10 + dst) as f64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_empty_buffers_skip_traffic() {
+        let out = World::run(3, |comm| {
+            let send: Vec<Vec<f64>> = (0..3)
+                .map(|dst| {
+                    if dst == (comm.rank() + 1) % 3 {
+                        vec![1.0, 2.0]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect();
+            let recv = comm.all_to_all(send);
+            (recv, comm.stats_snapshot())
+        });
+        for (rank, (recv, stats)) in out.iter().enumerate() {
+            let from = (rank + 2) % 3;
+            assert_eq!(recv[from], vec![1.0, 2.0]);
+            assert_eq!(stats.a2a_messages, 1, "only one real message per rank");
+            assert_eq!(stats.a2a_bytes, 16);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let out = World::run(5, |comm| {
+            let mut total = 0.0;
+            for i in 0..20 {
+                total += comm.all_reduce_scalar((comm.rank() + i) as f64);
+            }
+            total
+        });
+        let expect: f64 = (0..20)
+            .map(|i| (0..5).map(|r| (r + i) as f64).sum::<f64>())
+            .sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn p2p_ring_send_recv() {
+        for out in on_every_backend(6, |comm| {
+            let next = (comm.rank() + 1) % 6;
+            let prev = (comm.rank() + 5) % 6;
+            comm.send(next, 7, vec![comm.rank() as f64]);
+            comm.recv(prev, 7)
+        }) {
+            for (rank, v) in out.iter().enumerate() {
+                assert_eq!(v, &vec![((rank + 5) % 6) as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn isend_irecv_ring_completes() {
+        for out in on_every_backend(5, |comm| {
+            let next = (comm.rank() + 1) % 5;
+            let prev = (comm.rank() + 4) % 5;
+            let send = comm.isend(next, 3, vec![comm.rank() as f64; 4]);
+            let recv = comm.irecv(prev, 3);
+            let got = recv.wait();
+            send.wait();
+            got
+        }) {
+            for (rank, v) in out.iter().enumerate() {
+                assert_eq!(v, &vec![((rank + 4) % 5) as f64; 4]);
+            }
+        }
+    }
+
+    /// Requests may be completed in any order; matching stays FIFO per
+    /// source, so the first-posted request gets the first-sent message.
+    #[test]
+    fn irecv_completion_order_is_independent_of_wait_order() {
+        for out in on_every_backend(2, |comm| {
+            let other = 1 - comm.rank();
+            comm.send(other, 10, vec![1.0]);
+            comm.send(other, 20, vec![2.0]);
+            let first = comm.irecv(other, 10);
+            let second = comm.irecv(other, 20);
+            // Wait in reverse posting order.
+            let b = second.wait();
+            let a = first.wait();
+            (a, b)
+        }) {
+            for (a, b) in out {
+                assert_eq!(a, vec![1.0]);
+                assert_eq!(b, vec![2.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn irecv_test_polls_to_completion() {
+        for out in on_every_backend(2, |comm| {
+            let other = 1 - comm.rank();
+            let mut req = comm.irecv(other, 5);
+            // Nothing sent yet on the first poll of rank 0 under the serial
+            // backend; sends happen below.
+            comm.send(other, 5, vec![comm.rank() as f64]);
+            // Barrier guarantees delivery on both backends before polling.
+            comm.barrier();
+            assert!(req.test(), "message must have arrived after barrier");
+            assert!(req.test(), "test is idempotent once complete");
+            req.wait()
+        }) {
+            assert_eq!(out[0], vec![1.0]);
+            assert_eq!(out[1], vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn recv_counters_mirror_send_counters() {
+        for out in on_every_backend(4, |comm| {
+            comm.stats_reset();
+            let next = (comm.rank() + 1) % 4;
+            let prev = (comm.rank() + 3) % 4;
+            comm.send(next, 1, vec![1.0; 8]);
+            let r = comm.irecv(prev, 1);
+            let _ = r.wait();
+            comm.send(next, 2, vec![2.0; 3]);
+            let _ = comm.recv(prev, 2);
+            comm.stats_snapshot()
+        }) {
+            let sends: u64 = out.iter().map(|s| s.sends).sum();
+            let recvs: u64 = out.iter().map(|s| s.recvs).sum();
+            let send_bytes: u64 = out.iter().map(|s| s.send_bytes).sum();
+            let recv_bytes: u64 = out.iter().map(|s| s.recv_bytes).sum();
+            assert_eq!(sends, recvs, "every send must be drained by a recv");
+            assert_eq!(send_bytes, recv_bytes, "byte accounting must be symmetric");
+            for s in &out {
+                assert_eq!(s.sends, 2);
+                assert_eq!(s.recvs, 2);
+                assert_eq!(s.send_bytes, 11 * 8);
+                assert_eq!(s.recv_bytes, 11 * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_returns_rank_ordered() {
+        for out in on_every_backend(3, |comm| comm.all_gather(vec![comm.rank() as f64; 2])) {
+            for parts in out {
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![r as f64; 2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_records_replicated_traffic() {
+        let out = World::run(4, |comm| {
+            comm.stats_reset();
+            let _ = comm.all_gather(vec![1.0, 2.0, 3.0]);
+            comm.stats_snapshot()
+        });
+        for s in &out {
+            assert_eq!(s.all_gathers, 1);
+            // 3 doubles replicated to 3 peers.
+            assert_eq!(s.all_gather_bytes, 3 * 8 * 3);
+            assert_eq!(s.all_reduces, 0, "gathers are not all-reduces");
+        }
+    }
+
+    #[test]
+    fn stats_reset_zeroes() {
+        World::run(2, |comm| {
+            comm.all_reduce_scalar(1.0);
+            assert!(comm.stats_snapshot().all_reduces > 0);
+            comm.stats_reset();
+            assert_eq!(comm.stats_snapshot().all_reduces, 0);
+        });
+    }
+
+    /// Arithmetic is transport-independent bit for bit: the reductions are
+    /// computed by `Comm` in rank order from gathered contributions, so the
+    /// backends cannot diverge.
+    #[test]
+    fn backends_produce_bit_identical_reductions() {
+        let run = |b: Backend| {
+            b.launch(6, |comm| {
+                let mut acc = Vec::new();
+                for i in 0..10 {
+                    let x = ((comm.rank() + 1) as f64).powf(1.1 + i as f64 * 0.07);
+                    acc.push(comm.all_reduce_scalar(x * 1e-3));
+                }
+                acc
+            })
+        };
+        assert_eq!(run(Backend::Threads), run(Backend::Serial));
+    }
+}

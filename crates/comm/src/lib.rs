@@ -1,8 +1,9 @@
 //! # cgnn-comm
 //!
-//! In-process "MPI" for the consistent-GNN reproduction: each rank is an OS
-//! thread, and collectives are built on shared slots + barriers so that
-//! reductions are **deterministic and identical on every rank**.
+//! Pluggable in-process "MPI" for the consistent-GNN reproduction: an
+//! object-safe [`CommBackend`] transport trait under a thin, cloneable
+//! [`Comm`] handle, so that collectives are **deterministic and identical
+//! on every rank** over every transport.
 //!
 //! This substitutes for the PyTorch Distributed / RCCL stack of the paper.
 //! The arithmetic-consistency results (paper Eqs. 2-3, Fig. 6) only require
@@ -14,10 +15,28 @@
 //! * `all_reduce` (consistent loss Eq. 6 and DDP gradient reduction),
 //! * `all_to_all` with optionally-empty buffers (the A2A and Neighbor-A2A
 //!   halo exchange implementations),
-//! * point-to-point `send`/`recv` (the custom Send-Recv halo exchange).
+//! * point-to-point `send`/`recv` (the custom Send-Recv halo exchange),
+//! * non-blocking `isend`/`irecv` returning wait-able [`SendRequest`] /
+//!   [`RecvRequest`] handles (the overlapped halo exchange).
+//!
+//! Two transports ship in-tree, selected by [`Backend`] (or the
+//! `CGNN_BACKEND` environment variable):
+//! * [`ThreadWorld`] — one OS thread per rank, real concurrency (default),
+//! * [`SerialBackend`] — deterministic round-robin single-stepping of the
+//!   ranks, for debugging and CI reference runs.
+//!
+//! Because reductions are computed rank-ordered in the [`Comm`] layer from
+//! gathered contributions, *all* backends produce bit-identical arithmetic;
+//! they differ only in scheduling. Custom transports implement
+//! [`CommBackend`] and enter through [`Comm::from_backend`] — see the
+//! [`backend`] module docs for a worked example.
 
+pub mod backend;
+pub mod comm;
 pub mod stats;
-pub mod world;
 
+pub use backend::serial::SerialBackend;
+pub use backend::threads::ThreadWorld;
+pub use backend::{Backend, CommBackend, CompletedSend, PostQueue, RecvOp, SendOp};
+pub use comm::{Comm, RecvRequest, SendRequest, World};
 pub use stats::{RankStats, StatsSnapshot};
-pub use world::{Comm, World};

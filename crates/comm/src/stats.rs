@@ -5,6 +5,11 @@
 //! numbers to charge Frontier-like network costs to the measured traffic,
 //! and the paper's A2A vs N-A2A comparison (Figs. 7-8) is fundamentally a
 //! statement about these volumes.
+//!
+//! Accounting is symmetric: sends are matched by recv-side counters
+//! (`recvs`/`recv_bytes`, covering blocking receives and completed
+//! `irecv`s), so the traffic tests can assert that every byte injected into
+//! the transport was also drained out of it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,10 +30,15 @@ pub struct RankStats {
     pub a2a_messages: AtomicU64,
     /// Bytes sent inside all-to-all calls (non-empty buffers only).
     pub a2a_bytes: AtomicU64,
-    /// Point-to-point sends.
+    /// Point-to-point sends (blocking `send` and non-blocking `isend`).
     pub sends: AtomicU64,
     /// Bytes sent point-to-point.
     pub send_bytes: AtomicU64,
+    /// Point-to-point receives completed on this rank (blocking `recv` and
+    /// completed `irecv` requests).
+    pub recvs: AtomicU64,
+    /// Bytes received point-to-point.
+    pub recv_bytes: AtomicU64,
     /// Number of all-gather calls (the coalesced halo exchange collective).
     pub all_gathers: AtomicU64,
     /// Bytes pushed by all-gather calls: the contribution is replicated to
@@ -47,6 +57,8 @@ pub struct StatsSnapshot {
     pub a2a_bytes: u64,
     pub sends: u64,
     pub send_bytes: u64,
+    pub recvs: u64,
+    pub recv_bytes: u64,
     pub all_gathers: u64,
     pub all_gather_bytes: u64,
 }
@@ -62,6 +74,8 @@ impl RankStats {
             a2a_bytes: self.a2a_bytes.load(Ordering::Relaxed),
             sends: self.sends.load(Ordering::Relaxed),
             send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            recv_bytes: self.recv_bytes.load(Ordering::Relaxed),
             all_gathers: self.all_gathers.load(Ordering::Relaxed),
             all_gather_bytes: self.all_gather_bytes.load(Ordering::Relaxed),
         }
@@ -76,6 +90,8 @@ impl RankStats {
         self.a2a_bytes.store(0, Ordering::Relaxed);
         self.sends.store(0, Ordering::Relaxed);
         self.send_bytes.store(0, Ordering::Relaxed);
+        self.recvs.store(0, Ordering::Relaxed);
+        self.recv_bytes.store(0, Ordering::Relaxed);
         self.all_gathers.store(0, Ordering::Relaxed);
         self.all_gather_bytes.store(0, Ordering::Relaxed);
     }

@@ -13,6 +13,14 @@
 //!   for non-neighbour ranks, which collective libraries turn into
 //!   neighbour send/receives (the paper's efficient variant),
 //! * [`SendRecvExchange`] — explicit point-to-point sends and receives,
+//! * [`OverlappedNeighborExchange`] — **new, beyond the paper**: the
+//!   Send-Recv schedule rebuilt on the non-blocking `isend`/`irecv` API:
+//!   every send is posted before any wait, every receive is posted before
+//!   any completion, leaving a window in which a GPU pipeline would run
+//!   the previous layer's node MLP while halos are in flight. Arithmetic
+//!   is bit-identical to Send-Recv (same payloads, same neighbour
+//!   accumulation order); `cgnn-perf` prices the hidden fraction of its
+//!   transfer time through the machine model's overlap fraction,
 //! * [`CoalescedAllGather`] — **new, beyond the paper**: every neighbour
 //!   payload fused into one contiguous buffer shipped with a single
 //!   `all_gather` collective per exchange. One collective entry instead of
@@ -34,7 +42,7 @@
 
 use std::sync::Arc;
 
-use cgnn_comm::Comm;
+use cgnn_comm::{Comm, RecvRequest, SendRequest};
 use cgnn_graph::LocalGraph;
 use cgnn_tensor::Tensor;
 
@@ -108,6 +116,9 @@ pub enum HaloExchangeMode {
     /// Fused-buffer exchange: all neighbour payloads coalesced into one
     /// buffer, shipped with a single all-gather collective.
     Coalesced,
+    /// Send-Recv rebuilt on non-blocking `isend`/`irecv`: all sends and
+    /// receives posted before any wait, exposing a compute-overlap window.
+    Overlapped,
 }
 
 impl HaloExchangeMode {
@@ -119,6 +130,7 @@ impl HaloExchangeMode {
             HaloExchangeMode::NeighborAllToAll => "N-A2A",
             HaloExchangeMode::SendRecv => "Send-Recv",
             HaloExchangeMode::Coalesced => "Coal-AG",
+            HaloExchangeMode::Overlapped => "Ovl-SR",
         }
     }
 
@@ -128,16 +140,18 @@ impl HaloExchangeMode {
     }
 
     /// Every built-in mode, in presentation order: the paper's four
-    /// (including the inconsistent `None` baseline) plus the coalesced
-    /// extension. Filter with [`HaloExchangeMode::is_consistent`] if only
-    /// the synchronizing modes are wanted.
-    pub fn all() -> [HaloExchangeMode; 5] {
+    /// (including the inconsistent `None` baseline) plus the coalesced and
+    /// overlapped extensions. Filter with
+    /// [`HaloExchangeMode::is_consistent`] if only the synchronizing modes
+    /// are wanted.
+    pub fn all() -> [HaloExchangeMode; 6] {
         [
             HaloExchangeMode::None,
             HaloExchangeMode::AllToAll,
             HaloExchangeMode::NeighborAllToAll,
             HaloExchangeMode::SendRecv,
             HaloExchangeMode::Coalesced,
+            HaloExchangeMode::Overlapped,
         ]
     }
 
@@ -152,6 +166,7 @@ impl HaloExchangeMode {
             HaloExchangeMode::NeighborAllToAll => Arc::new(NeighborAllToAll),
             HaloExchangeMode::SendRecv => Arc::new(SendRecvExchange),
             HaloExchangeMode::Coalesced => Arc::new(CoalescedAllGather::prepare(comm, graph)),
+            HaloExchangeMode::Overlapped => Arc::new(OverlappedNeighborExchange),
         }
     }
 }
@@ -419,6 +434,68 @@ impl HaloExchange for SendRecvExchange {
     }
 }
 
+/// The Send-Recv schedule rebuilt on the non-blocking comm API — the first
+/// consumer of `isend`/`irecv`, and the prototype for hiding halo latency
+/// behind compute.
+///
+/// Every neighbour send is posted (`isend`) before anything waits, and
+/// every receive is posted (`irecv`) before any completion; only then are
+/// the receives waited, in neighbour order. On a GPU pipeline the window
+/// between posting and waiting is where the previous layer's node MLP runs
+/// while halos are in flight — here the window is empty (the in-process
+/// transports are buffered), but the *schedule* is the overlapped one, so
+/// the perf model can price the hidden fraction
+/// (`cgnn-perf::overlapped_neighbor_time`, driven by the machine model's
+/// overlap fraction).
+///
+/// Completing receives in posted neighbour order (not arrival order) keeps
+/// the accumulation order fixed, making this strategy bit-identical to
+/// [`SendRecvExchange`] — only the schedule differs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlappedNeighborExchange;
+
+impl HaloExchange for OverlappedNeighborExchange {
+    fn label(&self) -> &'static str {
+        HaloExchangeMode::Overlapped.label()
+    }
+
+    fn is_consistent(&self) -> bool {
+        true
+    }
+
+    fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        let mut out = a.clone();
+        let cols = a.cols();
+        // Phase 1: post every send without blocking.
+        let sends: Vec<SendRequest> = graph
+            .halo
+            .neighbors
+            .iter()
+            .enumerate()
+            .map(|(ni, &s)| {
+                let mut buf = Vec::with_capacity(graph.halo.send_ids[ni].len() * cols);
+                pack_neighbor(&mut buf, a, graph, ni);
+                comm.isend(s, HALO_TAG, buf)
+            })
+            .collect();
+        // Phase 2: post every receive before waiting on any of them.
+        let posted: Vec<RecvRequest> = graph
+            .halo
+            .neighbors
+            .iter()
+            .map(|&s| comm.irecv(s, HALO_TAG))
+            .collect();
+        // <- overlap window: independent compute would run here.
+        // Phase 3: complete in neighbour order (fixed accumulation order).
+        let recvs: Vec<Vec<f64>> = posted.into_iter().map(RecvRequest::wait).collect();
+        for send in sends {
+            send.wait();
+        }
+        accumulate_halos(&mut out, graph, cols, |ni, _| recvs[ni].as_slice());
+        out
+    }
+}
+
 /// Fused-buffer halo exchange: all neighbour payloads packed into **one**
 /// contiguous buffer per exchange, shipped with a single `all_gather`
 /// collective. Each receiver slices the block addressed to it out of every
@@ -582,6 +659,49 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_synchronizes_coincident_nodes() {
+        check_mode(HaloExchangeMode::Overlapped);
+    }
+
+    /// The overlapped exchange reorders the schedule (post-all, then wait),
+    /// not the arithmetic: its output must be bit-identical to Send-Recv,
+    /// and its non-blocking traffic must be fully drained (send totals ==
+    /// recv totals) with symmetric per-rank accounting.
+    #[test]
+    fn overlapped_is_bit_identical_to_send_recv_and_drains_traffic() {
+        let mesh = BoxMesh::new((4, 4, 4), 1, (1.0, 1.0, 1.0), false);
+        let part = Partition::new(&mesh, 8, Strategy::Block);
+        let graphs = Arc::new(build_distributed_graph(&mesh, &part));
+        let stats = World::run(8, |comm| {
+            let g = &graphs[comm.rank()];
+            let a = Tensor::from_fn(g.n_local(), 3, |r, c| {
+                (g.gids[r] as f64 * 0.17).sin() + c as f64 + comm.rank() as f64 * 1e-3
+            });
+            let sr = {
+                let ctx = HaloContext::new(comm.clone(), g, HaloExchangeMode::SendRecv);
+                halo_exchange_apply(&a, g, &ctx)
+            };
+            let ctx = HaloContext::new(comm.clone(), g, HaloExchangeMode::Overlapped);
+            comm.stats_reset();
+            let ovl = halo_exchange_apply(&a, g, &ctx);
+            assert_eq!(ovl, sr, "overlapped must match Send-Recv bit for bit");
+            comm.stats_snapshot()
+        });
+        let sends: u64 = stats.iter().map(|s| s.sends).sum();
+        let recvs: u64 = stats.iter().map(|s| s.recvs).sum();
+        assert!(sends > 0, "overlapped exchange must go through isend");
+        assert_eq!(sends, recvs, "all posted irecvs completed");
+        for s in &stats {
+            // The halo plan is symmetric, so each rank receives exactly what
+            // it sends.
+            assert_eq!(s.sends, s.recvs);
+            assert_eq!(s.send_bytes, s.recv_bytes);
+            assert_eq!(s.a2a_messages, 0, "no collectives in the overlapped path");
+            assert_eq!(s.all_gathers, 0);
+        }
+    }
+
+    #[test]
     fn none_mode_is_identity() {
         let mesh = BoxMesh::new((2, 2, 2), 1, (1.0, 1.0, 1.0), false);
         let part = Partition::new(&mesh, 2, Strategy::Slab);
@@ -661,6 +781,13 @@ mod tests {
                     bytes: s.a2a_bytes + s.send_bytes + s.all_gather_bytes,
                 };
                 assert_eq!(predicted, measured, "mode {mode} traffic mismatch");
+                // Point-to-point accounting is symmetric: every send this
+                // rank injected was drained by a matching receive.
+                assert_eq!(s.sends, s.recvs, "mode {mode}: sends != recvs");
+                assert_eq!(
+                    s.send_bytes, s.recv_bytes,
+                    "mode {mode}: send bytes != recv bytes"
+                );
             });
         }
     }

@@ -5,7 +5,8 @@
 //!
 //! * [`exchange`] — the object-safe [`HaloExchange`] strategy trait with
 //!   the four implementations the paper compares (None / A2A /
-//!   Neighbor-A2A / Send-Recv) plus the coalesced all-gather extension,
+//!   Neighbor-A2A / Send-Recv) plus the coalesced all-gather and
+//!   overlapped non-blocking extensions,
 //! * [`mp_layer`] — the consistent NMP layer (paper Eq. 4) with a
 //!   differentiable halo swap recorded on the autodiff tape,
 //! * [`model`] — encode-process-decode GNN with the Table I configurations,
@@ -28,7 +29,8 @@ pub mod trainer;
 
 pub use exchange::{
     halo_exchange_apply, CoalescedAllGather, DenseAllToAll, ExchangeTraffic, HaloContext,
-    HaloExchange, HaloExchangeMode, NeighborAllToAll, NoExchange, SendRecvExchange,
+    HaloExchange, HaloExchangeMode, NeighborAllToAll, NoExchange, OverlappedNeighborExchange,
+    SendRecvExchange,
 };
 pub use loss::{all_reduce_scalar, consistent_mse, local_mse};
 pub use model::{ConsistentGnn, GnnConfig};

@@ -78,6 +78,24 @@ impl Trainer {
         }
     }
 
+    /// Reinstall a training checkpoint (parameters + Adam state, as
+    /// produced by `cgnn-tensor::serialize::write_checkpoint`): names and
+    /// shapes are verified against this trainer's architecture, and the
+    /// next step resumes **bit-identically** to the uninterrupted run.
+    /// Non-collective; every rank restores the same (replica-identical)
+    /// checkpoint.
+    pub fn restore(
+        &mut self,
+        params: &cgnn_tensor::ParamSet,
+        opt: &cgnn_tensor::AdamState,
+    ) -> std::io::Result<()> {
+        opt.validate_for(params)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        cgnn_tensor::restore_into(&mut self.params, params)?;
+        self.opt.set_state(opt.clone());
+        Ok(())
+    }
+
     /// Forward pass + consistent loss, no parameter update. Collective.
     pub fn eval_loss(&self, data: &RankData) -> f64 {
         let mut tape = Tape::new();

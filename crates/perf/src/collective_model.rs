@@ -1,7 +1,9 @@
 //! Alpha-beta cost models for the collectives the consistent GNN issues:
 //! ring all-reduce (loss + DDP gradients), dense all-to-all (A2A halo
-//! exchange), neighbour all-to-all (N-A2A halo exchange), and ring
-//! all-gather (the coalesced fused-buffer halo exchange).
+//! exchange), neighbour all-to-all (N-A2A halo exchange), ring all-gather
+//! (the coalesced fused-buffer halo exchange), and the overlapped
+//! non-blocking neighbour exchange whose transfer time is partially hidden
+//! behind compute.
 
 use cgnn_graph::RankProfile;
 
@@ -114,6 +116,41 @@ pub fn neighbor_all_to_all_time(
     t
 }
 
+/// Exposed (non-hidden) time of one overlapped neighbour exchange
+/// (`Ovl-SR`): the Send-Recv schedule rebuilt on non-blocking
+/// `isend`/`irecv`, with a fraction `overlap_fraction` of the *transfer*
+/// time hidden behind independent compute.
+///
+/// Posting costs cannot be hidden — the CPU/GPU still has to inject one
+/// message per neighbour plus the collective-entry overhead — so the model
+/// splits the N-A2A cost into an un-hidable posting term (entry latency +
+/// per-message overheads) and a hidable transfer term (bandwidth + wire
+/// latency), and discounts only the latter:
+///
+/// `t = posting + (1 - f) * transfer`
+///
+/// At `f = 0` this degenerates to exactly
+/// [`neighbor_all_to_all_time`]; at `f = 1` only the posting overhead
+/// remains.
+pub fn overlapped_neighbor_time(
+    machine: &MachineModel,
+    rank: usize,
+    ranks: usize,
+    profile: &RankProfile,
+    bytes_per_shared_node: f64,
+    overlap_fraction: f64,
+) -> f64 {
+    if ranks <= 1 || profile.shared_per_neighbor.is_empty() {
+        return 0.0;
+    }
+    let f = overlap_fraction.clamp(0.0, 1.0);
+    let n_msgs = profile.shared_per_neighbor.len() as f64;
+    let posting = machine.intra_latency + n_msgs * machine.msg_overhead;
+    let full = neighbor_all_to_all_time(machine, rank, ranks, profile, bytes_per_shared_node);
+    let transfer = (full - posting).max(0.0);
+    posting + (1.0 - f) * transfer
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +218,31 @@ mod tests {
         let t2048 = all_gather_time(&m, 2048, 1e6);
         assert!(t2048 > 10.0 * t8, "t8={t8} t2048={t2048}");
         assert_eq!(all_gather_time(&m, 1, 1e6), 0.0);
+    }
+
+    #[test]
+    fn overlap_discounts_transfer_but_never_posting() {
+        let m = MachineModel::frontier();
+        let p = profile(&[(9, 3600); 11]);
+        let bytes_per_node = 32.0 * 8.0;
+        let full = neighbor_all_to_all_time(&m, 0, 2048, &p, bytes_per_node);
+        // f = 0 degenerates to the blocking neighbour exchange.
+        let f0 = overlapped_neighbor_time(&m, 0, 2048, &p, bytes_per_node, 0.0);
+        assert!((f0 - full).abs() < 1e-15, "{f0} vs {full}");
+        // Monotonically cheaper as more transfer hides behind compute.
+        let f5 = overlapped_neighbor_time(&m, 0, 2048, &p, bytes_per_node, 0.5);
+        let f9 = overlapped_neighbor_time(&m, 0, 2048, &p, bytes_per_node, 0.9);
+        let f1 = overlapped_neighbor_time(&m, 0, 2048, &p, bytes_per_node, 1.0);
+        assert!(f0 > f5 && f5 > f9 && f9 > f1, "{f0} {f5} {f9} {f1}");
+        // Even at full overlap the injection overheads remain.
+        let posting = m.intra_latency + 11.0 * m.msg_overhead;
+        assert!((f1 - posting).abs() < 1e-12, "{f1} vs {posting}");
+        // Degenerate cases stay free.
+        assert_eq!(overlapped_neighbor_time(&m, 0, 1, &p, 256.0, 0.5), 0.0);
+        assert_eq!(
+            overlapped_neighbor_time(&m, 0, 64, &profile(&[]), 256.0, 0.5),
+            0.0
+        );
     }
 
     #[test]

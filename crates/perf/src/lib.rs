@@ -25,6 +25,7 @@ pub mod weak_scaling;
 pub use calibrate::{measure_single_rank, Calibration};
 pub use collective_model::{
     all_gather_time, all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time,
+    overlapped_neighbor_time,
 };
 pub use gnn_cost::{compute_time, iteration_work, param_count, RankWork};
 pub use machine::MachineModel;

@@ -32,6 +32,12 @@ pub struct MachineModel {
     /// bandwidth degrades by `1 / (1 + c * log2(n_nodes))` as the job
     /// spans more of the fabric.
     pub contention: f64,
+    /// Fraction of a halo exchange's transfer time (bandwidth + wire
+    /// latency, not message-injection overhead) hidden behind independent
+    /// compute by the overlapped (`Ovl-SR`) schedule, in `[0, 1]`. The
+    /// node-MLP of the previous NMP layer is the compute being overlapped;
+    /// 1.0 would mean the window always covers the transfer.
+    pub overlap_fraction: f64,
 }
 
 impl MachineModel {
@@ -49,6 +55,7 @@ impl MachineModel {
             msg_overhead: 1.5e-6,
             iter_overhead: 3.0e-3,
             contention: 0.035,
+            overlap_fraction: 0.7,
         }
     }
 
@@ -69,6 +76,7 @@ impl MachineModel {
             msg_overhead: 1.5e-6,
             iter_overhead: 3.0e-3,
             contention: 0.035,
+            overlap_fraction: 0.7,
         }
     }
 

@@ -15,6 +15,7 @@ use serde::Serialize;
 
 use crate::collective_model::{
     all_gather_time, all_reduce_time, dense_all_to_all_time, neighbor_all_to_all_time,
+    overlapped_neighbor_time,
 };
 use crate::gnn_cost::{compute_time, iteration_work, param_count};
 use crate::machine::MachineModel;
@@ -158,6 +159,21 @@ fn iteration_time(
                 let fused_bytes = prof.stats.halo_nodes as f64 * bytes_per_shared;
                 exchanges * all_gather_time(machine, ranks, fused_bytes)
             }
+            HaloExchangeMode::Overlapped => {
+                // Non-blocking schedule: the machine model's overlap
+                // fraction of the transfer hides behind the previous
+                // layer's node MLP; only posting + the exposed remainder
+                // is charged.
+                exchanges
+                    * overlapped_neighbor_time(
+                        machine,
+                        rank,
+                        ranks,
+                        prof,
+                        bytes_per_shared,
+                        machine.overlap_fraction,
+                    )
+            }
             // `HaloExchangeMode` is non-exhaustive; the neighbour-exact cost
             // (N-A2A / Send-Recv) is the default for any mode that ships
             // exact halos peer to peer. New collectives get their own arm.
@@ -214,8 +230,9 @@ pub fn weak_scaling_series(
 }
 
 /// The full paper sweep: {small, large} x {256k, 512k} x {None, A2A, N-A2A,
-/// Coal-AG} over ranks 8..=2048 — the paper's three exchange settings plus
-/// the coalesced fused-buffer extension as a fourth priced curve.
+/// Coal-AG, Ovl-SR} over ranks 8..=2048 — the paper's three exchange
+/// settings plus the coalesced fused-buffer and overlapped non-blocking
+/// extensions as fourth and fifth priced curves.
 pub fn paper_sweep(machine: &MachineModel) -> Vec<ScalingSeries> {
     let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect(); // 8..2048
     let mut out = Vec::new();
@@ -226,6 +243,7 @@ pub fn paper_sweep(machine: &MachineModel) -> Vec<ScalingSeries> {
                 HaloExchangeMode::AllToAll,
                 HaloExchangeMode::NeighborAllToAll,
                 HaloExchangeMode::Coalesced,
+                HaloExchangeMode::Overlapped,
             ] {
                 out.push(weak_scaling_series(
                     machine, name, &config, &loading, mode, &ranks,
@@ -407,6 +425,54 @@ mod tests {
             coal[last],
             dense[last]
         );
+    }
+
+    /// The overlapped schedule can only hide cost, never add it: its
+    /// relative throughput must dominate blocking N-A2A at every rank
+    /// count (and strictly so at scale, where halo time is material), and
+    /// more overlap must help monotonically.
+    #[test]
+    fn overlapped_dominates_blocking_neighbor_exchange() {
+        let m = MachineModel::frontier();
+        let ranks: Vec<usize> = (3..=11).map(|k| 1usize << k).collect();
+        let config = GnnConfig::large();
+        let loading = Loading::nominal_512k();
+        let series = |m: &MachineModel, mode| {
+            weak_scaling_series(m, "large", &config, &loading, mode, &ranks)
+        };
+        let base = series(&m, HaloExchangeMode::None);
+        let na2a = relative_throughput(&series(&m, HaloExchangeMode::NeighborAllToAll), &base);
+        let ovl = relative_throughput(&series(&m, HaloExchangeMode::Overlapped), &base);
+        for (i, &r) in ranks.iter().enumerate() {
+            assert!(
+                ovl[i] >= na2a[i] - 1e-12,
+                "overlap must not cost extra at {r} ranks: {} vs {}",
+                ovl[i],
+                na2a[i]
+            );
+            assert!(ovl[i] <= 1.0 + 1e-9, "cannot beat the no-exchange baseline");
+        }
+        let last = ranks.len() - 1;
+        assert!(
+            ovl[last] > na2a[last],
+            "hidden transfer must show at 2048 ranks: {} vs {}",
+            ovl[last],
+            na2a[last]
+        );
+        // Sweeping the overlap fraction: more hiding, more throughput.
+        let mut prev = na2a[last];
+        for f in [0.3, 0.6, 0.9] {
+            let mut machine = MachineModel::frontier();
+            machine.overlap_fraction = f;
+            let base = series(&machine, HaloExchangeMode::None);
+            let rel = relative_throughput(&series(&machine, HaloExchangeMode::Overlapped), &base);
+            assert!(
+                rel[last] >= prev - 1e-12,
+                "overlap fraction {f} regressed: {} vs {prev}",
+                rel[last]
+            );
+            prev = rel[last];
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cgnn_comm::Comm;
+use cgnn_comm::{Backend, Comm};
 use cgnn_core::{GnnConfig, HaloContext, HaloExchange, HaloExchangeMode};
 use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
 use cgnn_mesh::BoxMesh;
@@ -93,6 +93,10 @@ pub struct SessionBuilder {
     strategy: Strategy,
     ranks: usize,
     exchange: ExchangeSpec,
+    /// `None` = resolve from the environment at `build()` time, so an
+    /// explicit [`SessionBuilder::backend`] choice never even reads (or
+    /// panics on) `CGNN_BACKEND`.
+    backend: Option<Backend>,
     config: GnnConfig,
     seed: u64,
     lr: f64,
@@ -105,6 +109,7 @@ impl Default for SessionBuilder {
             strategy: Strategy::Block,
             ranks: 1,
             exchange: ExchangeSpec::Mode(HaloExchangeMode::NeighborAllToAll),
+            backend: None,
             config: GnnConfig::small(),
             seed: 0,
             lr: 1e-3,
@@ -150,6 +155,17 @@ impl SessionBuilder {
             label,
             factory: Arc::new(factory),
         };
+        self
+    }
+
+    /// Communication transport carrying the session's SPMD execution
+    /// (default: whatever `CGNN_BACKEND` selects via
+    /// [`Backend::from_env`], i.e. the thread world unless overridden).
+    /// All backends produce bit-identical training trajectories; they
+    /// differ only in scheduling — [`Backend::Serial`] single-steps the
+    /// ranks deterministically for debugging and CI reference runs.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -200,6 +216,7 @@ impl SessionBuilder {
             partition,
             graphs,
             self.exchange,
+            self.backend.unwrap_or_else(Backend::from_env),
             self.config,
             self.seed,
             self.lr,

@@ -123,6 +123,16 @@ impl RankHandle {
         self.comm.all_reduce_scalar(v)
     }
 
+    /// Checkpoint this rank's model parameters **and** optimizer state to
+    /// `path` (restored with [`Session::restore`](crate::Session::restore),
+    /// after which training resumes bit-identically). Replicas are
+    /// bit-identical across ranks, so one rank saving — conventionally
+    /// rank 0 — is a complete checkpoint of the distributed run.
+    /// Non-collective.
+    pub fn save_params(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        cgnn_tensor::save_checkpoint(&self.trainer.params, &self.trainer.opt.state(), path)
+    }
+
     /// Snapshot this rank's communication traffic counters.
     pub fn traffic(&self) -> StatsSnapshot {
         self.comm.stats_snapshot()

@@ -30,9 +30,18 @@
 //!
 //! Exchange strategies are pluggable: the builder accepts either a
 //! [`HaloExchangeMode`](cgnn_core::HaloExchangeMode) (the built-ins of
-//! paper Sec. III plus the coalesced extension) or, via
+//! paper Sec. III plus the coalesced and overlapped extensions) or, via
 //! [`SessionBuilder::exchange_with`], any custom
 //! [`HaloExchange`](cgnn_core::HaloExchange) factory.
+//!
+//! Communication transports are pluggable one layer further down:
+//! [`SessionBuilder::backend`] selects the
+//! [`CommBackend`](cgnn_comm::CommBackend) implementation carrying the SPMD
+//! execution (threads by default, the deterministic serial world for
+//! debugging; `CGNN_BACKEND` switches the default) — training trajectories
+//! are bit-identical across backends. Sessions also checkpoint:
+//! [`RankHandle::save_params`] writes parameters + optimizer state, and
+//! [`Session::restore`] resumes a run **bit-identically**.
 
 pub mod builder;
 pub mod handle;

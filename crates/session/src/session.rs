@@ -1,13 +1,16 @@
 //! The assembled [`Session`]: owns the wired pipeline and drives SPMD
-//! execution through per-rank [`RankHandle`]s.
+//! execution through per-rank [`RankHandle`]s over a pluggable
+//! communication backend.
 
+use std::path::Path;
 use std::sync::Arc;
 
-use cgnn_comm::World;
-use cgnn_core::{GnnConfig, Trainer};
+use cgnn_comm::Backend;
+use cgnn_core::{ConsistentGnn, GnnConfig, Trainer};
 use cgnn_graph::LocalGraph;
 use cgnn_mesh::{BoxMesh, TaylorGreen};
 use cgnn_partition::Partition;
+use cgnn_tensor::{AdamState, ParamSet};
 
 use crate::builder::{ExchangeSpec, SessionBuilder};
 use crate::handle::RankHandle;
@@ -17,20 +20,26 @@ use crate::handle::RankHandle;
 /// constructing each rank's trainer. Cheap to clone-per-run: the expensive
 /// graph construction happened once in [`SessionBuilder::build`].
 ///
-/// [`Session::run`] spawns one OS thread per rank (the in-process "MPI"
-/// world), hands each a [`RankHandle`], and returns the per-rank results in
-/// rank order. Repeated `run` calls reuse the same graphs but build fresh
-/// trainers, so every run starts from the same seeded state — which is what
-/// makes builder sessions reproduce hand-wired loss trajectories bit for
-/// bit.
+/// [`Session::run`] launches one rank per sub-graph on the configured
+/// [`Backend`] (the thread world by default; the serial single-stepping
+/// world for deterministic debugging), hands each a [`RankHandle`], and
+/// returns the per-rank results in rank order. Repeated `run` calls reuse
+/// the same graphs but build fresh trainers, so every run starts from the
+/// same seeded state — or, for a session produced by [`Session::restore`],
+/// from a saved checkpoint — which is what makes builder sessions
+/// reproduce hand-wired loss trajectories bit for bit.
 pub struct Session {
     mesh: Arc<BoxMesh>,
     partition: Option<Partition>,
     graphs: Vec<Arc<LocalGraph>>,
     exchange: ExchangeSpec,
+    backend: Backend,
     config: GnnConfig,
     seed: u64,
     lr: f64,
+    /// Checkpoint each run's trainers start from instead of seeded init
+    /// (set by [`Session::restore`]; validated eagerly at restore time).
+    checkpoint: Option<Arc<(ParamSet, AdamState)>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -39,9 +48,11 @@ impl std::fmt::Debug for Session {
             .field("ranks", &self.ranks())
             .field("elements", &self.mesh.num_elements())
             .field("exchange", &self.exchange.label())
+            .field("backend", &self.backend.label())
             .field("hidden", &self.config.hidden)
             .field("seed", &self.seed)
             .field("lr", &self.lr)
+            .field("restored", &self.checkpoint.is_some())
             .finish()
     }
 }
@@ -57,6 +68,7 @@ impl Session {
         partition: Option<Partition>,
         graphs: Vec<Arc<LocalGraph>>,
         exchange: ExchangeSpec,
+        backend: Backend,
         config: GnnConfig,
         seed: u64,
         lr: f64,
@@ -66,9 +78,11 @@ impl Session {
             partition,
             graphs,
             exchange,
+            backend,
             config,
             seed,
             lr,
+            checkpoint: None,
         }
     }
 
@@ -107,34 +121,89 @@ impl Session {
         self.exchange.label()
     }
 
+    /// The communication transport this session launches ranks on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// A sibling session differing only in its exchange strategy. The
     /// expensive state (mesh, partition, per-rank graphs) is shared, not
     /// rebuilt — this is how mode-comparison sweeps (Fig. 6, traffic
     /// tables) price several strategies against one wiring.
     pub fn with_exchange(&self, mode: cgnn_core::HaloExchangeMode) -> Session {
         Session {
-            mesh: Arc::clone(&self.mesh),
-            partition: self.partition.clone(),
-            graphs: self.graphs.clone(),
             exchange: ExchangeSpec::Mode(mode),
-            config: self.config,
-            seed: self.seed,
-            lr: self.lr,
+            ..self.shallow_clone()
         }
     }
 
-    /// Run `f` on every rank (one OS thread each), returning the per-rank
-    /// results in rank order. Each rank's [`RankHandle`] arrives with its
-    /// graph, halo context, and freshly seeded trainer already wired.
+    /// A sibling session differing only in its communication backend —
+    /// training trajectories are bit-identical across backends, so this
+    /// swaps scheduling (e.g. onto the deterministic serial world) without
+    /// touching arithmetic or wiring.
+    pub fn with_backend(&self, backend: Backend) -> Session {
+        Session {
+            backend,
+            ..self.shallow_clone()
+        }
+    }
+
+    /// A sibling session whose runs resume from the training checkpoint at
+    /// `path` (written by [`RankHandle::save_params`]) instead of seeded
+    /// initialization. The checkpoint's architecture is validated against
+    /// this session's model configuration *now*, so mismatches surface as
+    /// an error here rather than a panic inside the SPMD region. A resumed
+    /// run continues **bit-identically** to the uninterrupted one.
+    pub fn restore(&self, path: impl AsRef<Path>) -> std::io::Result<Session> {
+        let (params, opt) = cgnn_tensor::load_checkpoint(path)?;
+        // Probe restore into a freshly seeded replica of this session's
+        // architecture: verifies parameter names/shapes and optimizer
+        // moment shapes without touching state.
+        let (mut probe, _) = ConsistentGnn::seeded(self.config, self.seed);
+        cgnn_tensor::restore_into(&mut probe, &params)?;
+        opt.validate_for(&probe)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(Session {
+            checkpoint: Some(Arc::new((params, opt))),
+            ..self.shallow_clone()
+        })
+    }
+
+    /// Cheap structural copy: shares mesh/partition/graphs, keeps the
+    /// recipe (exchange, backend, config, seed, lr, checkpoint).
+    fn shallow_clone(&self) -> Session {
+        Session {
+            mesh: Arc::clone(&self.mesh),
+            partition: self.partition.clone(),
+            graphs: self.graphs.clone(),
+            exchange: self.exchange.clone(),
+            backend: self.backend,
+            config: self.config,
+            seed: self.seed,
+            lr: self.lr,
+            checkpoint: self.checkpoint.clone(),
+        }
+    }
+
+    /// Run `f` on every rank of the configured backend, returning the
+    /// per-rank results in rank order. Each rank's [`RankHandle`] arrives
+    /// with its graph, halo context, and trainer already wired — freshly
+    /// seeded, or restored from the checkpoint for sessions produced by
+    /// [`Session::restore`].
     pub fn run<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut RankHandle) -> T + Sync,
     {
-        World::run(self.ranks(), |comm| {
+        self.backend.launch(self.ranks(), |comm| {
             let graph = Arc::clone(&self.graphs[comm.rank()]);
             let ctx = self.exchange.context(comm, &graph);
-            let trainer = Trainer::new(self.config, self.seed, self.lr, ctx);
+            let mut trainer = Trainer::new(self.config, self.seed, self.lr, ctx);
+            if let Some(ckpt) = &self.checkpoint {
+                trainer
+                    .restore(&ckpt.0, &ckpt.1)
+                    .expect("checkpoint validated in Session::restore");
+            }
             let mut handle = RankHandle::new(comm.clone(), graph, trainer, self.exchange.label());
             f(&mut handle)
         })
@@ -238,6 +307,62 @@ mod tests {
         let a = s.train_autoencode(&field, 0.0, 4);
         let b = s.train_autoencode(&field, 0.0, 4);
         assert_eq!(a, b, "runs must be independent and reproducible");
+    }
+
+    #[test]
+    fn with_backend_swaps_transport_without_changing_results() {
+        let s = Session::builder()
+            .mesh(mesh())
+            .ranks(2)
+            .partition(Strategy::Slab)
+            .seed(11)
+            .backend(cgnn_comm::Backend::Threads)
+            .build()
+            .unwrap();
+        assert_eq!(s.backend(), cgnn_comm::Backend::Threads);
+        let serial = s.with_backend(cgnn_comm::Backend::Serial);
+        assert_eq!(serial.backend(), cgnn_comm::Backend::Serial);
+        let field = TaylorGreen::new(0.01);
+        let a = s.train_autoencode(&field, 0.0, 4);
+        let b = serial.train_autoencode(&field, 0.0, 4);
+        assert_eq!(a, b, "transports must be arithmetically identical");
+        let labels = serial.run(|h| h.comm().backend_label());
+        assert_eq!(labels, vec!["serial"; 2]);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture() {
+        let dir = std::env::temp_dir().join(format!("cgnn_restore_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("small.ckpt");
+        let small = Session::builder().mesh(mesh()).seed(1).build().unwrap();
+        small.run(|h| {
+            if h.rank() == 0 {
+                h.save_params(&path).expect("save");
+            }
+        });
+        // Same mesh, larger model: must be refused eagerly.
+        let large = Session::builder()
+            .mesh(mesh())
+            .model(GnnConfig::large())
+            .build()
+            .unwrap();
+        assert!(large.restore(&path).is_err());
+        assert!(small.restore(&path).is_ok());
+
+        // Matching params but malformed optimizer moments (assembled via
+        // the public checkpoint API) must also be refused eagerly, not
+        // panic inside the SPMD region on the first step.
+        let (params, _) = cgnn_core::ConsistentGnn::seeded(small.config(), 1);
+        let bad_opt = cgnn_tensor::AdamState {
+            t: 3,
+            m: vec![cgnn_tensor::Tensor::zeros(1, 1)],
+            v: vec![cgnn_tensor::Tensor::zeros(1, 1)],
+        };
+        let bad_path = dir.join("bad_moments.ckpt");
+        cgnn_tensor::save_checkpoint(&params, &bad_opt, &bad_path).expect("save");
+        assert!(small.restore(&bad_path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use nn::{Activation, BoundParams, Linear, Mlp, ParamId, ParamSet};
-pub use optim::{Adam, Sgd};
-pub use serialize::{load_params, restore_into, save_params};
+pub use optim::{Adam, AdamState, Sgd};
+pub use serialize::{load_checkpoint, load_params, restore_into, save_checkpoint, save_params};
 pub use tape::{CustomOp, Gradients, Tape, VarId};
 pub use tensor::Tensor;

@@ -1,19 +1,30 @@
-//! Parameter checkpointing: a small self-describing binary format for
-//! [`ParamSet`]s so trained models can be saved and restored. Since all
+//! Parameter and training-state checkpointing: a small self-describing
+//! binary format for [`ParamSet`]s (and, for exact resume, the Adam
+//! optimizer state) so trained models can be saved and restored. Since all
 //! ranks hold bit-identical replicas, rank 0 saving once is a complete
 //! checkpoint of a distributed run.
 //!
-//! Format: magic `CGNN`, version u32, tensor count u32, then per tensor:
-//! name length + UTF-8 name, rows u64, cols u64, little-endian f64 data.
+//! Two container kinds:
+//! * **params** (`save_params`/`load_params`): magic `CGNN`, version u32,
+//!   tensor count u32, then per tensor: name length + UTF-8 name, rows
+//!   u64, cols u64, little-endian f64 data.
+//! * **training checkpoint** (`save_checkpoint`/`load_checkpoint`): magic
+//!   `CGNC`, version u32, an embedded params container, then the Adam
+//!   state — step count u64, moment count u32, and the first/second moment
+//!   tensors (rows u64, cols u64, f64 data each). Restoring both makes a
+//!   resumed run **bit-identical** to the uninterrupted one.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::nn::ParamSet;
+use crate::optim::AdamState;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"CGNN";
 const VERSION: u32 = 1;
+const CKPT_MAGIC: &[u8; 4] = b"CGNC";
+const CKPT_VERSION: u32 = 1;
 
 /// Serialize a parameter set to a writer.
 pub fn write_params<W: Write>(params: &ParamSet, mut w: W) -> io::Result<()> {
@@ -25,14 +36,30 @@ pub fn write_params<W: Write>(params: &ParamSet, mut w: W) -> io::Result<()> {
         let name = params.name(id).as_bytes();
         w.write_all(&(name.len() as u32).to_le_bytes())?;
         w.write_all(name)?;
-        let t = params.get(id);
-        w.write_all(&(t.rows() as u64).to_le_bytes())?;
-        w.write_all(&(t.cols() as u64).to_le_bytes())?;
-        for v in t.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        write_tensor(params.get(id), &mut w)?;
     }
     Ok(())
+}
+
+fn write_tensor<W: Write>(t: &Tensor, w: &mut W) -> io::Result<()> {
+    w.write_all(&(t.rows() as u64).to_le_bytes())?;
+    w.write_all(&(t.cols() as u64).to_le_bytes())?;
+    for v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut buf = [0u8; 8];
+    for _ in 0..rows * cols {
+        r.read_exact(&mut buf)?;
+        data.push(f64::from_le_bytes(buf));
+    }
+    Ok(Tensor::from_vec(rows, cols, data))
 }
 
 /// Deserialize a parameter set from a reader.
@@ -60,17 +87,70 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
         r.read_exact(&mut name)?;
         let name =
             String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let rows = read_u64(&mut r)? as usize;
-        let cols = read_u64(&mut r)? as usize;
-        let mut data = Vec::with_capacity(rows * cols);
-        let mut buf = [0u8; 8];
-        for _ in 0..rows * cols {
-            r.read_exact(&mut buf)?;
-            data.push(f64::from_le_bytes(buf));
-        }
-        params.register(name, Tensor::from_vec(rows, cols, data));
+        params.register(name, read_tensor(&mut r)?);
     }
     Ok(params)
+}
+
+/// Serialize a full training checkpoint (parameters + Adam state) to a
+/// writer.
+pub fn write_checkpoint<W: Write>(params: &ParamSet, opt: &AdamState, mut w: W) -> io::Result<()> {
+    assert_eq!(opt.m.len(), opt.v.len(), "adam state moment count mismatch");
+    w.write_all(CKPT_MAGIC)?;
+    w.write_all(&CKPT_VERSION.to_le_bytes())?;
+    write_params(params, &mut w)?;
+    w.write_all(&opt.t.to_le_bytes())?;
+    w.write_all(&(opt.m.len() as u32).to_le_bytes())?;
+    for t in opt.m.iter().chain(opt.v.iter()) {
+        write_tensor(t, &mut w)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a full training checkpoint from a reader.
+pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<(ParamSet, AdamState)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != CKPT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a cgnn training checkpoint",
+        ));
+    }
+    let version = read_u32(&mut r)?;
+    if version != CKPT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let params = read_params(&mut r)?;
+    let t = read_u64(&mut r)?;
+    let count = read_u32(&mut r)? as usize;
+    let mut moments = Vec::with_capacity(2 * count);
+    for _ in 0..2 * count {
+        moments.push(read_tensor(&mut r)?);
+    }
+    let v = moments.split_off(count);
+    Ok((params, AdamState { t, m: moments, v }))
+}
+
+/// Save a full training checkpoint to a file path.
+pub fn save_checkpoint(
+    params: &ParamSet,
+    opt: &AdamState,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_checkpoint(params, opt, io::BufWriter::new(file))
+}
+
+/// Load a full training checkpoint from a file path. The caller is
+/// responsible for checking the architecture matches (e.g. via
+/// [`restore_into`]).
+pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<(ParamSet, AdamState)> {
+    let file = std::fs::File::open(path)?;
+    read_checkpoint(io::BufReader::new(file))
 }
 
 /// Save to a file path.
@@ -178,6 +258,50 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_params(&b"NOPE"[..]).is_err());
         assert!(read_params(&b"CG"[..]).is_err());
+        assert!(read_checkpoint(&b"NOPE"[..]).is_err());
+        // A bare params container is not a training checkpoint.
+        let mut buf = Vec::new();
+        write_params(&sample_params(1), &mut buf).expect("write");
+        assert!(read_checkpoint(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_params_and_adam_state() {
+        use crate::optim::Adam;
+
+        let mut params = sample_params(3);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..4 {
+            let grads: Vec<Tensor> = params.tensors().to_vec(); // grad = theta
+            opt.step(&mut params, &grads);
+        }
+        let mut buf = Vec::new();
+        write_checkpoint(&params, &opt.state(), &mut buf).expect("write");
+        let (rp, rs) = read_checkpoint(buf.as_slice()).expect("read");
+        assert_eq!(rp.flatten(), params.flatten());
+        let s = opt.state();
+        assert_eq!(rs.t, s.t);
+        assert_eq!(rs.m.len(), s.m.len());
+        assert_eq!(rs.v.len(), s.v.len());
+        for (a, b) in rs.m.iter().zip(s.m.iter()) {
+            assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in rs.v.iter().zip(s.v.iter()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn fresh_optimizer_checkpoint_roundtrips_empty_moments() {
+        use crate::optim::Adam;
+
+        let params = sample_params(5);
+        let opt = Adam::new(0.01);
+        let mut buf = Vec::new();
+        write_checkpoint(&params, &opt.state(), &mut buf).expect("write");
+        let (_, rs) = read_checkpoint(buf.as_slice()).expect("read");
+        assert_eq!(rs.t, 0);
+        assert!(rs.m.is_empty() && rs.v.is_empty());
     }
 
     #[test]

@@ -22,10 +22,11 @@ fn main() {
 
     let mesh = session.mesh();
     println!(
-        "mesh: {} elements at p = {}, {} unique nodes",
+        "mesh: {} elements at p = {}, {} unique nodes ({} comm backend)",
         mesh.num_elements(),
         mesh.order(),
-        mesh.num_global_nodes()
+        mesh.num_global_nodes(),
+        session.backend()
     );
     println!(
         "graph: {} nodes, {} directed edges",

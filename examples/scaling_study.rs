@@ -1,8 +1,10 @@
 //! Weak-scaling study (paper Figs. 7-8) driven by the Frontier machine
 //! model: prints total throughput, weak-scaling efficiency, and throughput
 //! relative to the inconsistent baseline for every configuration in the
-//! paper's sweep — now including the coalesced all-gather strategy as a
-//! fourth exchange curve.
+//! paper's sweep — now including the coalesced all-gather (Coal-AG) and
+//! overlapped non-blocking (Ovl-SR) strategies as fourth and fifth
+//! exchange curves, plus a sweep of the overlap fraction that prices how
+//! much halo latency compute can hide.
 //!
 //! ```sh
 //! cargo run --release --example scaling_study
@@ -48,7 +50,40 @@ fn main() {
     println!("  - dense A2A collapses with rank count");
     println!("  - N-A2A adds only marginal cost (>0.9 relative through 1024 ranks)");
     println!("  - Coal-AG wins on latency at small R, collapses like a ring at scale");
+    println!("  - Ovl-SR dominates blocking N-A2A: overlapped transfer is hidden");
     println!("  - smaller loading and smaller model scale worse");
+
+    // Overlap-fraction sweep: how much of the halo transfer must compute
+    // hide before the consistent model matches the inconsistent baseline?
+    // (Posting overheads are never hidden, so even f = 1 is not free.)
+    println!("\n=== Ovl-SR overlap-fraction sweep: large model, 512k loading, 2048 ranks ===");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "overlap f", "rel-thru", "halo ms/iter"
+    );
+    for f in [0.0, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let mut m = MachineModel::frontier();
+        m.overlap_fraction = f;
+        let series = |mode| {
+            cgnn::perf::weak_scaling_series(
+                &m,
+                "large",
+                &GnnConfig::large(),
+                &Loading::nominal_512k(),
+                mode,
+                &[2048],
+            )
+        };
+        let base = series(HaloExchangeMode::None);
+        let ovl = series(HaloExchangeMode::Overlapped);
+        let rel = relative_throughput(&ovl, &base);
+        println!(
+            "{:>10.1} {:>12.3} {:>14.2}",
+            f,
+            rel[0],
+            ovl.points[0].t_halo * 1e3
+        );
+    }
 
     // Cross-machine comparison — the paper's conclusion proposes running
     // the same benchmark on different supercomputers, since the consistent

@@ -32,7 +32,9 @@ pub use cgnn_tensor as tensor;
 /// and field generators, partitioning, the halo exchange strategies, the
 /// trainer, and the traffic counters.
 pub mod prelude {
-    pub use cgnn_comm::{Comm, StatsSnapshot, World};
+    pub use cgnn_comm::{
+        Backend, Comm, CommBackend, RecvRequest, SendRequest, StatsSnapshot, World,
+    };
     pub use cgnn_core::{
         halo_exchange_apply, ConsistentGnn, ExchangeTraffic, GnnConfig, HaloContext, HaloExchange,
         HaloExchangeMode, RankData, Trainer,

@@ -61,8 +61,44 @@ fn session(ranks: usize, mode: HaloExchangeMode) -> Vec<Vec<f64>> {
         .train_autoencode(&TaylorGreen::new(0.01), 0.0, ITERS)
 }
 
+/// Cross-backend equivalence: for every halo-exchange strategy, training
+/// trajectories are **bit-identical** under the thread world and the
+/// deterministic serial backend. The reduction arithmetic lives in the
+/// `Comm` layer above the transport, so no backend can perturb it — this
+/// suite is the executable form of that claim.
+#[test]
+fn backends_are_bit_identical_for_all_modes() {
+    // Bit-identity either holds from the first reduction or not at all, so
+    // a short trajectory suffices (the serial backend runs fully
+    // single-stepped, so this also bounds suite wall-clock).
+    for mode in HaloExchangeMode::all() {
+        let per_backend: Vec<Vec<Vec<f64>>> = Backend::all()
+            .into_iter()
+            .map(|backend| {
+                Session::builder()
+                    .mesh(mesh())
+                    .partition(Strategy::Block)
+                    .ranks(8)
+                    .exchange(mode)
+                    .backend(backend)
+                    .model(GnnConfig::small())
+                    .seed(SEED)
+                    .learning_rate(LR)
+                    .build()
+                    .expect("session")
+                    .train_autoencode(&TaylorGreen::new(0.01), 0.0, 5)
+            })
+            .collect();
+        assert_eq!(
+            per_backend[0], per_backend[1],
+            "mode {mode}: thread and serial trajectories differ"
+        );
+    }
+}
+
 /// Builder sessions reproduce the hand-wired trajectories bit-identically
-/// for every built-in strategy (the four paper modes + coalesced), at R = 8.
+/// for every built-in strategy (the four paper modes + the coalesced and
+/// overlapped extensions), at R = 8.
 #[test]
 fn session_matches_hand_wired_path_for_all_modes() {
     for mode in HaloExchangeMode::all() {
@@ -94,6 +130,21 @@ fn coalesced_is_arithmetically_identical_to_neighbor_a2a() {
         assert_eq!(
             na2a, coal,
             "R={ranks}: coalesced and N-A2A trajectories must be bit-identical"
+        );
+    }
+}
+
+/// The overlapped exchange reorders the communication schedule onto the
+/// non-blocking API without touching payloads or accumulation order, so
+/// entire training trajectories must be **bit-identical** to Send-Recv.
+#[test]
+fn overlapped_is_arithmetically_identical_to_send_recv() {
+    for ranks in [2usize, 4, 8] {
+        let sr = session(ranks, HaloExchangeMode::SendRecv);
+        let ovl = session(ranks, HaloExchangeMode::Overlapped);
+        assert_eq!(
+            sr, ovl,
+            "R={ranks}: overlapped and Send-Recv trajectories must be bit-identical"
         );
     }
 }
@@ -196,6 +247,10 @@ fn session_traffic_accounting_is_exact() {
             );
             (measured, predicted)
         });
+        let mut total_sends = 0;
+        let mut total_recvs = 0;
+        let mut total_send_bytes = 0;
+        let mut total_recv_bytes = 0;
         for (measured, predicted) in checks {
             // 4 MP layers, forward + backward = 8 exchanges per step.
             let halo_bytes = measured.a2a_bytes + measured.send_bytes + measured.all_gather_bytes;
@@ -204,6 +259,17 @@ fn session_traffic_accounting_is_exact() {
                 8 * predicted.bytes,
                 "mode {mode}: measured halo bytes vs 8x predicted"
             );
+            total_sends += measured.sends;
+            total_recvs += measured.recvs;
+            total_send_bytes += measured.send_bytes;
+            total_recv_bytes += measured.recv_bytes;
         }
+        // Point-to-point accounting is symmetric across the world: every
+        // send injected during the step was drained by a matching receive.
+        assert_eq!(total_sends, total_recvs, "mode {mode}: sends != recvs");
+        assert_eq!(
+            total_send_bytes, total_recv_bytes,
+            "mode {mode}: send bytes != recv bytes"
+        );
     }
 }
