@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Lychee-style (grep-based) intra-repo link check: every relative markdown
+# link in README.md and docs/ must resolve to an existing file or
+# directory. External (http/mailto) links and pure #anchors are skipped —
+# this guards against renamed files and stale paths, offline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+status=0
+
+check_file() {
+    local md="$1"
+    local dir
+    dir="$(dirname "$md")"
+    # Pull out ](target) markdown link targets, one per line. `|| true`:
+    # a file with zero links makes grep exit 1, which is not an error.
+    { grep -oE '\]\([^)]+\)' "$md" 2>/dev/null || true; } | sed -E 's/^\]\(//; s/\)$//' |
+        while IFS= read -r target; do
+            case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+            esac
+            # Strip any #fragment and surrounding whitespace.
+            local path="${target%%#*}"
+            path="$(echo "$path" | xargs)"
+            [ -z "$path" ] && continue
+            if [ ! -e "$dir/$path" ]; then
+                echo "BROKEN: $md -> $target"
+                # Subshell: flag through a marker file, not the variable.
+                touch .doc_links_broken
+            fi
+        done
+}
+
+rm -f .doc_links_broken
+for md in README.md docs/*.md; do
+    [ -e "$md" ] && check_file "$md"
+done
+
+if [ -e .doc_links_broken ]; then
+    rm -f .doc_links_broken
+    echo "doc link check FAILED"
+    exit 1
+fi
+echo "doc link check OK (README.md docs/*.md)"

@@ -8,9 +8,9 @@
 
 use cgnn_bench::{demo_loss, env_usize, write_json};
 use cgnn_core::HaloExchangeMode;
-use cgnn_mesh::BoxMesh;
+use cgnn_mesh::{BoxMesh, TaylorGreen};
 use cgnn_partition::Strategy;
-use cgnn_session::Session;
+use cgnn_session::{Dataset, Session};
 use serde_json::json;
 
 const SEED: u64 = 2024;
@@ -20,17 +20,21 @@ fn main() {
     let max_r = env_usize("CGNN_MAXR", 64);
     let mesh = BoxMesh::new((elems, elems, elems), 1, (1.0, 1.0, 1.0), false);
     println!(
-        "Fig. 6 (left): loss vs number of ranks; {}^3 elements p=1, {} nodes",
+        "Fig. 6 (left): mean dataset loss vs number of ranks; {}^3 elements p=1, {} nodes",
         elems,
         mesh.num_global_nodes()
     );
     // One wiring (partition + graphs) per rank count; the mode sweep swaps
-    // only the exchange strategy via `with_exchange`.
+    // only the exchange strategy via `with_exchange`. The score is the
+    // mean consistent loss over a three-snapshot Taylor-Green stream.
+    let field = TaylorGreen::new(0.01);
+    let times = [0.0, 0.2, 0.4];
     let session = |r: usize| {
         Session::builder()
             .mesh(mesh.clone())
             .partition(Strategy::Block)
             .ranks(r)
+            .dataset(Dataset::tgv_autoencode(&mesh, &field, &times))
             .seed(SEED)
             .build()
             .expect("session")

@@ -16,9 +16,15 @@ use cgnn_session::Session;
 
 /// Evaluate the consistent loss of a seeded, randomly initialized GNN with
 /// the input as target (the paper's Fig. 6 demonstration protocol), for
-/// the session's configuration. Identical on every rank.
+/// the session's configuration. Sessions carrying a snapshot dataset are
+/// scored as the mean over the whole stream; plain sessions fall back to
+/// the single `t = 0` Taylor-Green snapshot. Identical on every rank.
 pub fn demo_loss(session: &Session) -> f64 {
-    session.initial_loss(&TaylorGreen::new(0.01), 0.0)
+    if session.dataset().is_some() {
+        session.eval_dataset()
+    } else {
+        session.initial_loss(&TaylorGreen::new(0.01), 0.0)
+    }
 }
 
 /// Parse an env var override with a default (used by the figure binaries to

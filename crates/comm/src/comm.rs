@@ -70,10 +70,12 @@ impl Comm {
         self.backend.label()
     }
 
+    /// This rank's index in `0..size`.
     pub fn rank(&self) -> usize {
         self.backend.rank()
     }
 
+    /// World size (number of SPMD ranks).
     pub fn size(&self) -> usize {
         self.backend.size()
     }

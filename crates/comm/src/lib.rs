@@ -31,6 +31,8 @@
 //! [`CommBackend`] and enter through [`Comm::from_backend`] — see the
 //! [`backend`] module docs for a worked example.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod comm;
 pub mod stats;

@@ -49,21 +49,34 @@ pub struct RankStats {
 /// Plain-old-data snapshot of [`RankStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Barriers entered.
     pub barriers: u64,
+    /// All-reduce collectives issued.
     pub all_reduces: u64,
+    /// Payload bytes contributed to all-reduces.
     pub all_reduce_bytes: u64,
+    /// All-to-all collectives issued.
     pub all_to_alls: u64,
+    /// Non-empty pairwise messages inside those all-to-alls.
     pub a2a_messages: u64,
+    /// Payload bytes of those all-to-all messages.
     pub a2a_bytes: u64,
+    /// Point-to-point sends posted (blocking and non-blocking).
     pub sends: u64,
+    /// Payload bytes of those sends.
     pub send_bytes: u64,
+    /// Point-to-point receives completed (blocking and non-blocking).
     pub recvs: u64,
+    /// Payload bytes of those receives.
     pub recv_bytes: u64,
+    /// All-gather collectives issued.
     pub all_gathers: u64,
+    /// Bytes this rank *received* from peers in all-gathers.
     pub all_gather_bytes: u64,
 }
 
 impl RankStats {
+    /// Copy the live counters into a plain [`StatsSnapshot`].
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             barriers: self.barriers.load(Ordering::Relaxed),
@@ -81,6 +94,7 @@ impl RankStats {
         }
     }
 
+    /// Zero every counter (scoping measurements to a code region).
     pub fn reset(&self) {
         self.barriers.store(0, Ordering::Relaxed);
         self.all_reduces.store(0, Ordering::Relaxed);

@@ -21,6 +21,20 @@ pub fn reduce_gradients(
     grads: &Gradients,
     comm: &Comm,
 ) -> Vec<Tensor> {
+    reduce_flat_gradients(params, flatten_local_gradients(params, bound, grads), comm)
+}
+
+/// Flatten one tape's parameter gradients into a single fused buffer in
+/// registration order (zeros for parameters the loss did not touch). The
+/// local half of [`reduce_gradients`], split out so mini-batch training
+/// ([`Trainer::step_batch`](crate::Trainer::step_batch)) can accumulate
+/// several backward passes before issuing **one** all-reduce per optimizer
+/// step.
+pub fn flatten_local_gradients(
+    params: &ParamSet,
+    bound: &BoundParams,
+    grads: &Gradients,
+) -> Vec<f64> {
     let mut flat = Vec::with_capacity(params.num_scalars());
     for (i, t) in params.tensors().iter().enumerate() {
         match grads.get(bound.var(ParamId(i))) {
@@ -31,6 +45,13 @@ pub fn reduce_gradients(
             None => flat.extend(std::iter::repeat_n(0.0, t.len())),
         }
     }
+    flat
+}
+
+/// Sum-all-reduce an already-flattened gradient buffer (as produced by
+/// [`flatten_local_gradients`]) and unflatten it back into one tensor per
+/// parameter. The communicating half of [`reduce_gradients`].
+pub fn reduce_flat_gradients(params: &ParamSet, mut flat: Vec<f64>, comm: &Comm) -> Vec<Tensor> {
     comm.all_reduce_sum(&mut flat);
     let mut out = Vec::with_capacity(params.len());
     let mut off = 0;

@@ -185,6 +185,7 @@ impl std::fmt::Display for HaloExchangeMode {
 /// same point.
 #[derive(Clone)]
 pub struct HaloContext {
+    /// The communicator the strategy's collectives run over.
     pub comm: Comm,
     strategy: Arc<dyn HaloExchange>,
 }

@@ -20,11 +20,14 @@
 //! partition boundaries. Integration tests under `tests/` verify both
 //! against the un-partitioned R = 1 graph.
 
+#![warn(missing_docs)]
+
 pub mod ddp;
 pub mod exchange;
 pub mod loss;
 pub mod model;
 pub mod mp_layer;
+pub mod schedule;
 pub mod trainer;
 
 pub use exchange::{
@@ -35,4 +38,5 @@ pub use exchange::{
 pub use loss::{all_reduce_scalar, consistent_mse, local_mse};
 pub use model::{ConsistentGnn, GnnConfig};
 pub use mp_layer::{halo_sync, ConsistentMpLayer, GraphIndices, HaloSyncOp};
+pub use schedule::{shuffled_indices, EpochReport, EpochSchedule};
 pub use trainer::{RankData, Trainer};

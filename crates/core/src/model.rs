@@ -60,6 +60,7 @@ impl GnnConfig {
 
 /// Encode-process-decode GNN with consistent message passing.
 pub struct ConsistentGnn {
+    /// The architecture hyper-parameters this model was built from.
     pub config: GnnConfig,
     node_encoder: Mlp,
     edge_encoder: Mlp,

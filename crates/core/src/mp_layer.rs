@@ -25,14 +25,20 @@ use crate::exchange::{halo_exchange_apply, HaloContext};
 /// Shared, per-pass-immutable index buffers of one rank's local graph.
 #[derive(Clone)]
 pub struct GraphIndices {
+    /// Source node of each directed edge.
     pub src: Arc<Vec<usize>>,
+    /// Destination node of each directed edge.
     pub dst: Arc<Vec<usize>>,
+    /// Per-edge `1/d_ij` consistency weights (paper Eq. 4).
     pub edge_inv_degree: Arc<Vec<f64>>,
+    /// Per-node `1/d_i` consistency weights (paper Eq. 6).
     pub node_inv_degree: Arc<Vec<f64>>,
+    /// Number of locally owned nodes.
     pub n_local: usize,
 }
 
 impl GraphIndices {
+    /// Extract (and reference-count) the index buffers of `g`.
     pub fn from_graph(g: &LocalGraph) -> Self {
         GraphIndices {
             src: Arc::new(g.edge_src.clone()),
@@ -84,7 +90,9 @@ pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloC
 /// One consistent neural message passing layer.
 #[derive(Debug, Clone)]
 pub struct ConsistentMpLayer {
+    /// The edge-update MLP (paper Eq. 4, first line).
     pub edge_mlp: Mlp,
+    /// The node-update MLP (paper Eq. 4, second line).
     pub node_mlp: Mlp,
 }
 
@@ -156,6 +164,7 @@ impl ConsistentMpLayer {
         (x_new, e_new)
     }
 
+    /// Total trainable scalars in this layer's two MLPs.
     pub fn num_scalars(&self) -> usize {
         self.edge_mlp.num_scalars() + self.node_mlp.num_scalars()
     }

@@ -1,0 +1,198 @@
+//! Deterministic epoch scheduling: which samples form which mini-batch in
+//! which order, as a pure function of `(seed, epoch)`.
+//!
+//! Distributed runs stay bit-identical because every rank evaluates the
+//! same function locally — no communication, no shared RNG state, no
+//! iteration-order dependence on the backend. A resumed run re-derives the
+//! same order for the same epoch, which is what makes mid-epoch
+//! checkpoint/restore exact (see
+//! [`Trainer::train_epoch`](crate::Trainer::train_epoch)).
+
+/// SplitMix64 step: the standard 64-bit finalizing mixer (Steele et al.),
+/// used here both to derive per-epoch seeds and to drive the
+/// Fisher–Yates shuffle. Self-contained so the schedule never depends on
+/// an external RNG's stream stability.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded deterministic shuffler: a Fisher–Yates permutation of
+/// `0..n` driven by SplitMix64. Pure — same `(n, seed)` always yields the
+/// same permutation, on every platform and backend.
+///
+/// The draw uses a simple modulo reduction; for the dataset sizes involved
+/// (snapshot counts, not cryptography) the bias is irrelevant and
+/// determinism is what matters.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    // Warm the mixer so small adjacent seeds do not share prefixes.
+    let _ = splitmix64(&mut state);
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// How one epoch walks a dataset: a (possibly shuffled) permutation of the
+/// sample indices, chunked into mini-batches of `batch_size` (the last
+/// batch may be short).
+///
+/// The schedule is *stateless*: [`EpochSchedule::batch`] computes any
+/// `(epoch, step)` batch directly, so training can resume at an arbitrary
+/// optimizer step and reproduce the uninterrupted order bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSchedule {
+    /// Number of samples in the dataset.
+    pub n_samples: usize,
+    /// Samples per optimizer step (the last batch of an epoch may be
+    /// smaller).
+    pub batch_size: usize,
+    /// Shuffle each epoch with a seed derived from `seed` and the epoch
+    /// index; `false` keeps canonical `0..n` order every epoch.
+    pub shuffle: bool,
+    /// Base seed for the per-epoch shuffles.
+    pub seed: u64,
+}
+
+impl EpochSchedule {
+    /// A schedule over `n_samples` samples with mini-batches of
+    /// `batch_size`, shuffled per epoch from `seed`.
+    ///
+    /// # Panics
+    /// If `n_samples` or `batch_size` is zero.
+    pub fn new(n_samples: usize, batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        assert!(n_samples > 0, "schedule over an empty dataset");
+        assert!(batch_size > 0, "batch size must be at least 1");
+        EpochSchedule {
+            n_samples,
+            batch_size,
+            shuffle,
+            seed,
+        }
+    }
+
+    /// Optimizer steps per epoch: `ceil(n_samples / batch_size)`.
+    pub fn steps_per_epoch(&self) -> u64 {
+        self.n_samples.div_ceil(self.batch_size) as u64
+    }
+
+    /// The sample visiting order of `epoch` (identity when shuffling is
+    /// off). Pure function of `(seed, epoch)` — identical on every rank.
+    pub fn order(&self, epoch: u64) -> Vec<usize> {
+        if self.shuffle {
+            // Mix the epoch into the seed so epochs get distinct, but
+            // individually reproducible, permutations.
+            let mut s = self.seed ^ epoch.wrapping_mul(0xA076_1D64_78BD_642F);
+            let epoch_seed = splitmix64(&mut s);
+            shuffled_indices(self.n_samples, epoch_seed)
+        } else {
+            (0..self.n_samples).collect()
+        }
+    }
+
+    /// The `[lo, hi)` slice of an epoch's order that mini-batch `step`
+    /// covers — so a caller iterating a whole epoch can compute
+    /// [`EpochSchedule::order`] once and slice it per step instead of
+    /// re-shuffling.
+    ///
+    /// # Panics
+    /// If `step` is out of range for an epoch.
+    pub fn batch_bounds(&self, step: u64) -> (usize, usize) {
+        assert!(step < self.steps_per_epoch(), "step {step} out of epoch");
+        let lo = step as usize * self.batch_size;
+        (lo, (lo + self.batch_size).min(self.n_samples))
+    }
+
+    /// The sample indices of mini-batch `step` (`0..steps_per_epoch`)
+    /// within `epoch`.
+    ///
+    /// # Panics
+    /// If `step` is out of range for an epoch.
+    pub fn batch(&self, epoch: u64, step: u64) -> Vec<usize> {
+        let (lo, hi) = self.batch_bounds(step);
+        self.order(epoch)[lo..hi].to_vec()
+    }
+
+    /// Decompose a global optimizer-step count into `(epoch,
+    /// step_within_epoch)` — how [`Trainer::train_epoch`] locates itself
+    /// after a checkpoint restore.
+    ///
+    /// [`Trainer::train_epoch`]: crate::Trainer::train_epoch
+    pub fn position(&self, global_step: u64) -> (u64, u64) {
+        let spe = self.steps_per_epoch();
+        (global_step / spe, global_step % spe)
+    }
+}
+
+/// What one epoch of training produced: per-batch consistent losses and
+/// their mean. Returned by [`Trainer::train_epoch`](crate::Trainer::train_epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Global optimizer-step count *before* the first batch of this report
+    /// (non-zero mid-epoch when resuming from a checkpoint).
+    pub first_step: u64,
+    /// Pre-update consistent loss of every batch run in this epoch, in
+    /// schedule order.
+    pub batch_losses: Vec<f64>,
+}
+
+impl EpochReport {
+    /// Mean of the per-batch losses (the "epoch loss" curves the examples
+    /// print).
+    pub fn mean_loss(&self) -> f64 {
+        self.batch_losses.iter().sum::<f64>() / self.batch_losses.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let a = shuffled_indices(17, 42);
+        let b = shuffled_indices(17, 42);
+        assert_eq!(a, b, "same seed must reproduce the order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+        assert_ne!(a, shuffled_indices(17, 43), "seeds must decorrelate");
+    }
+
+    #[test]
+    fn epochs_get_distinct_reproducible_orders() {
+        let s = EpochSchedule::new(8, 3, true, 7);
+        assert_eq!(s.steps_per_epoch(), 3);
+        assert_ne!(s.order(0), s.order(1), "epochs should reshuffle");
+        assert_eq!(s.order(5), s.order(5));
+        // Batches tile the epoch order exactly.
+        let order = s.order(2);
+        let tiled: Vec<usize> = (0..3).flat_map(|b| s.batch(2, b)).collect();
+        assert_eq!(tiled, order);
+        assert_eq!(s.batch(2, 2).len(), 2, "last batch is short: 8 = 3+3+2");
+    }
+
+    #[test]
+    fn unshuffled_schedule_is_canonical_order() {
+        let s = EpochSchedule::new(5, 2, false, 999);
+        assert_eq!(s.order(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.order(3), s.order(0));
+        assert_eq!(s.batch(1, 2), vec![4]);
+    }
+
+    #[test]
+    fn position_decomposes_global_steps() {
+        let s = EpochSchedule::new(4, 2, true, 0);
+        assert_eq!(s.position(0), (0, 0));
+        assert_eq!(s.position(3), (1, 1));
+        assert_eq!(s.position(4), (2, 0));
+    }
+}

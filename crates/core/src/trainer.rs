@@ -5,18 +5,21 @@ use std::sync::Arc;
 
 use cgnn_graph::{edge_features, node_velocity_features, LocalGraph, EDGE_FEATS, NODE_FEATS};
 use cgnn_mesh::TaylorGreen;
-use cgnn_tensor::{Adam, Tape, Tensor};
+use cgnn_tensor::{Adam, BoundParams, Tape, Tensor, VarId};
 
-use crate::ddp::reduce_gradients;
+use crate::ddp::{flatten_local_gradients, reduce_flat_gradients};
 use crate::exchange::HaloContext;
 use crate::loss::consistent_mse;
 use crate::model::{ConsistentGnn, GnnConfig};
 use crate::mp_layer::GraphIndices;
+use crate::schedule::{EpochReport, EpochSchedule};
 
 /// Immutable per-rank training data: features, targets, and index buffers.
 #[derive(Clone)]
 pub struct RankData {
+    /// The reduced distributed graph this sample lives on.
     pub graph: Arc<LocalGraph>,
+    /// Shared per-pass index buffers derived from `graph`.
     pub idx: GraphIndices,
     /// `[n_local, 3]` input node features.
     pub x: Tensor,
@@ -61,13 +64,20 @@ impl RankData {
 /// same `seed`, giving identical replicas; consistency (Eq. 3) plus the
 /// deterministic reductions keep them in lockstep forever after.
 pub struct Trainer {
+    /// The encode-process-decode GNN architecture.
     pub model: ConsistentGnn,
+    /// The trainable parameters (replica-identical across ranks).
     pub params: cgnn_tensor::ParamSet,
+    /// The Adam optimizer, whose step count doubles as the trainer's
+    /// position in an epoch schedule.
     pub opt: Adam,
+    /// The halo-exchange context wiring this rank's consistency.
     pub ctx: HaloContext,
 }
 
 impl Trainer {
+    /// Seed a fresh trainer: identical `(config, seed)` on every rank
+    /// yields bit-identical initial replicas.
     pub fn new(config: GnnConfig, seed: u64, lr: f64, ctx: HaloContext) -> Self {
         let (params, model) = ConsistentGnn::seeded(config, seed);
         Trainer {
@@ -96,23 +106,37 @@ impl Trainer {
         Ok(())
     }
 
-    /// Forward pass + consistent loss, no parameter update. Collective.
-    pub fn eval_loss(&self, data: &RankData) -> f64 {
-        let mut tape = Tape::new();
-        let bound = self.params.bind(&mut tape);
+    /// Number of optimizer steps this trainer has taken (checkpoint
+    /// restores reinstall the saved count) — the position
+    /// [`Trainer::train_epoch`] resumes from.
+    pub fn steps_taken(&self) -> u64 {
+        self.opt.steps()
+    }
+
+    /// Record one sample's forward pass and consistent loss on `tape`,
+    /// returning the loss variable. Shared by evaluation, single-sample
+    /// steps, and mini-batch accumulation.
+    fn loss_graph(&self, tape: &mut Tape, bound: &BoundParams, data: &RankData) -> VarId {
         let x = tape.leaf(data.x.clone());
         let e = tape.leaf(data.e.clone());
         let y = self
             .model
-            .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
-        let l = consistent_mse(
-            &mut tape,
+            .forward(tape, bound, x, e, &data.graph, &data.idx, &self.ctx);
+        consistent_mse(
+            tape,
             y,
             &data.target,
             &data.graph,
             &data.idx.node_inv_degree,
             &self.ctx.comm,
-        );
+        )
+    }
+
+    /// Forward pass + consistent loss, no parameter update. Collective.
+    pub fn eval_loss(&self, data: &RankData) -> f64 {
+        let mut tape = Tape::new();
+        let bound = self.params.bind(&mut tape);
+        let l = self.loss_graph(&mut tape, &bound, data);
         tape.value(l).item()
     }
 
@@ -131,31 +155,118 @@ impl Trainer {
     /// One training iteration (forward, backward, DDP reduce, Adam step).
     /// Returns the loss *before* the update. Collective.
     pub fn step(&mut self, data: &RankData) -> f64 {
-        let mut tape = Tape::new();
-        let bound = self.params.bind(&mut tape);
-        let x = tape.leaf(data.x.clone());
-        let e = tape.leaf(data.e.clone());
-        let y = self
-            .model
-            .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
-        let l = consistent_mse(
-            &mut tape,
-            y,
-            &data.target,
-            &data.graph,
-            &data.idx.node_inv_degree,
-            &self.ctx.comm,
-        );
-        let loss = tape.value(l).item();
-        let grads = tape.backward(l);
-        let reduced = reduce_gradients(&self.params, &bound, &grads, &self.ctx.comm);
+        self.step_batch(&[data])
+    }
+
+    /// One optimizer step over a mini-batch: forward + backward per sample,
+    /// gradients accumulated locally and averaged, then **one** fused DDP
+    /// all-reduce and one Adam update. Returns the mean pre-update loss of
+    /// the batch. Collective; every rank must present the same batch (same
+    /// sample order, same size), which is what [`EpochSchedule`]
+    /// guarantees. A single-sample batch is bit-identical to
+    /// [`Trainer::step`].
+    pub fn step_batch(&mut self, batch: &[&RankData]) -> f64 {
+        assert!(!batch.is_empty(), "empty mini-batch");
+        let mut loss_sum = 0.0;
+        let mut flat_sum: Vec<f64> = Vec::new();
+        for data in batch {
+            let mut tape = Tape::new();
+            let bound = self.params.bind(&mut tape);
+            let l = self.loss_graph(&mut tape, &bound, data);
+            loss_sum += tape.value(l).item();
+            let grads = tape.backward(l);
+            let flat = flatten_local_gradients(&self.params, &bound, &grads);
+            if flat_sum.is_empty() {
+                flat_sum = flat;
+            } else {
+                for (a, g) in flat_sum.iter_mut().zip(flat) {
+                    *a += g;
+                }
+            }
+        }
+        if batch.len() > 1 {
+            let inv = 1.0 / batch.len() as f64;
+            for v in &mut flat_sum {
+                *v *= inv;
+            }
+        }
+        let reduced = reduce_flat_gradients(&self.params, flat_sum, &self.ctx.comm);
         self.opt.step(&mut self.params, &reduced);
-        loss
+        loss_sum / batch.len() as f64
     }
 
     /// Run `iterations` training steps, returning the loss history.
     pub fn train(&mut self, data: &RankData, iterations: usize) -> Vec<f64> {
         (0..iterations).map(|_| self.step(data)).collect()
+    }
+
+    /// Train the remaining mini-batches of `epoch` over the dataset
+    /// `samples` according to `schedule`, returning the epoch's
+    /// [`EpochReport`]. See [`Trainer::train_epoch_with`].
+    pub fn train_epoch(
+        &mut self,
+        samples: &[RankData],
+        schedule: &EpochSchedule,
+        epoch: u64,
+    ) -> EpochReport {
+        self.train_epoch_with(samples, schedule, epoch, |_, _| {})
+    }
+
+    /// [`Trainer::train_epoch`] with a per-step hook: `on_step(trainer,
+    /// global_step)` fires after every optimizer update (the session layer
+    /// hangs periodic checkpointing off it).
+    ///
+    /// The epoch is *resume-aware*: the batches to run are derived from the
+    /// optimizer's step count, so a trainer restored from a mid-epoch
+    /// checkpoint continues with exactly the batches the uninterrupted run
+    /// would have taken — [`EpochSchedule`] recomputes the same shuffled
+    /// order from `(seed, epoch)` alone.
+    ///
+    /// # Panics
+    /// If `samples` does not match the schedule's `n_samples`, or the
+    /// optimizer's step count lies outside this epoch (the caller walked
+    /// the epochs out of order).
+    pub fn train_epoch_with(
+        &mut self,
+        samples: &[RankData],
+        schedule: &EpochSchedule,
+        epoch: u64,
+        mut on_step: impl FnMut(&Trainer, u64),
+    ) -> EpochReport {
+        assert_eq!(
+            samples.len(),
+            schedule.n_samples,
+            "dataset size does not match the schedule"
+        );
+        let spe = schedule.steps_per_epoch();
+        let first_step = self.steps_taken();
+        assert!(
+            epoch * spe <= first_step && first_step < (epoch + 1) * spe,
+            "optimizer at step {first_step} is outside epoch {epoch} \
+             ({spe} steps per epoch)"
+        );
+        // One shuffle per epoch; each step slices the shared order.
+        let order = schedule.order(epoch);
+        let mut batch_losses = Vec::new();
+        for s in (first_step - epoch * spe)..spe {
+            let (lo, hi) = schedule.batch_bounds(s);
+            let batch: Vec<&RankData> = order[lo..hi].iter().map(|&i| &samples[i]).collect();
+            batch_losses.push(self.step_batch(&batch));
+            let t = self.steps_taken();
+            on_step(self, t);
+        }
+        EpochReport {
+            epoch,
+            first_step,
+            batch_losses,
+        }
+    }
+
+    /// Mean consistent loss of the current parameters over every sample of
+    /// a dataset, in canonical (unshuffled) order. No updates. Collective.
+    pub fn eval_mean_loss(&self, samples: &[RankData]) -> f64 {
+        assert!(!samples.is_empty(), "empty dataset");
+        samples.iter().map(|d| self.eval_loss(d)).sum::<f64>() / samples.len() as f64
     }
 
     /// Autoregressive rollout: repeatedly feed the model's prediction back

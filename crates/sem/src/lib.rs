@@ -5,8 +5,9 @@
 //! direct-stiffness gather-scatter over coincident nodes
 //! ([`gather_scatter`] — the solver-side twin of the paper's consistent NMP
 //! synchronization), an explicit RK4 diffusion stepper validated against
-//! analytic decay rates ([`stepper`]), and snapshot-pair generation feeding
-//! the GNN training loop ([`datagen`]).
+//! analytic decay rates ([`stepper`]), and snapshot generation feeding the
+//! GNN training loop ([`datagen`]): single [`SnapshotPair`]s and
+//! multi-dump [`SnapshotStream`]s captured from one continuous trajectory.
 
 pub mod advection;
 pub mod datagen;
@@ -15,7 +16,7 @@ pub mod operators;
 pub mod stepper;
 
 pub use advection::AdvectionDiffusionSolver;
-pub use datagen::SnapshotPair;
+pub use datagen::{SnapshotPair, SnapshotStream};
 pub use gather_scatter::{distributed_dssum, GatherScatter};
 pub use operators::ElementOps;
 pub use stepper::DiffusionSolver;

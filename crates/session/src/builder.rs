@@ -8,6 +8,8 @@ use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
 use cgnn_mesh::BoxMesh;
 use cgnn_partition::{Partition, Strategy};
 
+use crate::checkpoint::CheckpointPolicy;
+use crate::dataset::Dataset;
 use crate::session::Session;
 
 /// Factory producing a per-rank exchange strategy. Runs inside the SPMD
@@ -22,7 +24,9 @@ pub enum ExchangeSpec {
     Mode(HaloExchangeMode),
     /// A custom strategy factory with a display label.
     Custom {
+        /// Label reported by `Session::exchange_label` and traffic sweeps.
         label: &'static str,
+        /// Per-rank factory invoked inside the SPMD region.
         factory: ExchangeFactory,
     },
 }
@@ -66,7 +70,19 @@ pub enum SessionError {
     /// `ranks` was zero.
     ZeroRanks,
     /// More ranks than mesh elements: some rank would own nothing.
-    TooManyRanks { ranks: usize, elements: usize },
+    TooManyRanks {
+        /// The requested rank count.
+        ranks: usize,
+        /// Elements the mesh actually has.
+        elements: usize,
+    },
+    /// The dataset's snapshots cover a different node count than the mesh.
+    DatasetMeshMismatch {
+        /// Nodes each dataset snapshot covers.
+        dataset_nodes: usize,
+        /// Unique global nodes of the session mesh.
+        mesh_nodes: usize,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -77,6 +93,13 @@ impl std::fmt::Display for SessionError {
             SessionError::TooManyRanks { ranks, elements } => write!(
                 f,
                 "cannot give {ranks} ranks at least one of {elements} elements"
+            ),
+            SessionError::DatasetMeshMismatch {
+                dataset_nodes,
+                mesh_nodes,
+            } => write!(
+                f,
+                "dataset snapshots cover {dataset_nodes} nodes but the mesh has {mesh_nodes}"
             ),
         }
     }
@@ -100,6 +123,8 @@ pub struct SessionBuilder {
     config: GnnConfig,
     seed: u64,
     lr: f64,
+    dataset: Option<Dataset>,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for SessionBuilder {
@@ -113,6 +138,8 @@ impl Default for SessionBuilder {
             config: GnnConfig::small(),
             seed: 0,
             lr: 1e-3,
+            dataset: None,
+            checkpoint: None,
         }
     }
 }
@@ -188,6 +215,27 @@ impl SessionBuilder {
         self
     }
 
+    /// The snapshot-stream training set this session's epoch methods
+    /// (`RankHandle::train_epochs`, `Session::train_epochs`,
+    /// `RankHandle::eval_dataset`) run over. The dataset carries its own
+    /// batching policy ([`Dataset::batch_size`], [`Dataset::sequential`],
+    /// [`Dataset::shuffle_seed`]); its snapshots must cover exactly the
+    /// mesh's global nodes (validated at `build()`).
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Opt into periodic checkpointing: during `train_epochs`, rank 0
+    /// writes a full training checkpoint every
+    /// [`CheckpointPolicy::every_steps`] optimizer steps and prunes old
+    /// files beyond the retention count. Any retained file restores
+    /// bit-exactly through `Session::restore`.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// Assemble the session: validate, partition the mesh, and build every
     /// rank's reduced distributed graph (or the global R = 1 graph).
     pub fn build(self) -> Result<Session, SessionError> {
@@ -200,6 +248,14 @@ impl SessionBuilder {
                 ranks: self.ranks,
                 elements: mesh.num_elements(),
             });
+        }
+        if let Some(ds) = &self.dataset {
+            if ds.n_nodes() != mesh.num_global_nodes() {
+                return Err(SessionError::DatasetMeshMismatch {
+                    dataset_nodes: ds.n_nodes(),
+                    mesh_nodes: mesh.num_global_nodes(),
+                });
+            }
         }
         let (partition, graphs) = if self.ranks == 1 {
             (None, vec![Arc::new(build_global_graph(&mesh))])
@@ -220,6 +276,8 @@ impl SessionBuilder {
             self.config,
             self.seed,
             self.lr,
+            self.dataset.map(Arc::new),
+            self.checkpoint,
         ))
     }
 }

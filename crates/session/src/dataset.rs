@@ -1,0 +1,292 @@
+//! Snapshot-stream datasets: many `(input, target)` time pairs per
+//! session, with deterministic seeded shuffling and mini-batch epochs.
+//!
+//! A [`Dataset`] owns **global** gid-major snapshot buffers (one
+//! `n_nodes * 3` vector per side of each pair); the session slices them
+//! into per-rank [`RankData`] when ranks launch, so
+//! one dataset serves every rank count and partition strategy. Batch order
+//! is governed by [`EpochSchedule`] — a pure function of `(seed, epoch)`
+//! evaluated identically on every rank, which keeps distributed epoch
+//! training bit-identical across backends and across checkpoint/restore
+//! boundaries.
+
+use std::sync::Arc;
+
+use cgnn_core::{EpochSchedule, RankData};
+use cgnn_graph::{LocalGraph, NODE_FEATS};
+use cgnn_mesh::{BoxMesh, TaylorGreen};
+use cgnn_sem::SnapshotStream;
+
+/// One global snapshot pair, gid-major. Buffers are shared so cloning a
+/// dataset (e.g. through `Session` sibling constructors) is cheap.
+#[derive(Clone)]
+struct Sample {
+    input: Arc<Vec<f64>>,
+    target: Arc<Vec<f64>>,
+}
+
+/// A training set of SEM snapshot pairs plus its batching policy.
+///
+/// Construct from the solver ([`Dataset::from_stream`]), from hand-built
+/// gid-major buffers ([`Dataset::from_pairs`]), or from the analytic
+/// Taylor-Green field ([`Dataset::tgv_autoencode`] /
+/// [`Dataset::tgv_forecast`]); then chain [`Dataset::batch_size`],
+/// [`Dataset::sequential`], or [`Dataset::shuffle_seed`] and hand the
+/// result to `Session::builder().dataset(..)`.
+///
+/// ```
+/// use cgnn_mesh::{BoxMesh, TaylorGreen};
+/// use cgnn_session::Dataset;
+///
+/// let mesh = BoxMesh::tgv_cube(2, 2);
+/// let field = TaylorGreen::new(0.01);
+/// let ds = Dataset::tgv_autoencode(&mesh, &field, &[0.0, 0.1, 0.2, 0.3]).batch_size(2);
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.steps_per_epoch(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Dataset {
+    n_nodes: usize,
+    samples: Vec<Sample>,
+    batch_size: usize,
+    shuffle: bool,
+    shuffle_seed: Option<u64>,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("samples", &self.samples.len())
+            .field("n_nodes", &self.n_nodes)
+            .field("batch_size", &self.batch_size)
+            .field("shuffle", &self.shuffle)
+            .field("shuffle_seed", &self.shuffle_seed)
+            .finish()
+    }
+}
+
+impl Dataset {
+    /// Wrap hand-built snapshot pairs: each buffer is gid-major
+    /// `n_nodes * 3` (the three velocity components interleaved per global
+    /// node id). Defaults: batch size 1, shuffling on, shuffle seed
+    /// inherited from the session.
+    ///
+    /// # Panics
+    /// If `pairs` is empty or any buffer has the wrong length.
+    pub fn from_pairs(n_nodes: usize, pairs: Vec<(Vec<f64>, Vec<f64>)>) -> Self {
+        assert!(!pairs.is_empty(), "a dataset needs at least one sample");
+        let samples = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| {
+                assert_eq!(x.len(), n_nodes * NODE_FEATS, "sample {i}: input length");
+                assert_eq!(y.len(), n_nodes * NODE_FEATS, "sample {i}: target length");
+                Sample {
+                    input: Arc::new(x),
+                    target: Arc::new(y),
+                }
+            })
+            .collect();
+        Dataset {
+            n_nodes,
+            samples,
+            batch_size: 1,
+            shuffle: true,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Adopt a solver-generated [`SnapshotStream`] (the `cgnn-sem` datagen
+    /// path: consecutive dumps of one continuous trajectory).
+    pub fn from_stream(stream: SnapshotStream) -> Self {
+        let n_nodes = stream.n_nodes();
+        Self::from_pairs(n_nodes, stream.into_pairs())
+    }
+
+    /// Analytic multi-snapshot autoencoding set: sample `k` has the
+    /// Taylor-Green velocity field at `times[k]` as both input and target
+    /// (the paper's demonstration task, widened from one time to a stream).
+    pub fn tgv_autoencode(mesh: &BoxMesh, field: &TaylorGreen, times: &[f64]) -> Self {
+        Self::from_pairs(
+            mesh.num_global_nodes(),
+            times
+                .iter()
+                .map(|&t| {
+                    let x = global_velocity(mesh, field, t);
+                    (x.clone(), x)
+                })
+                .collect(),
+        )
+    }
+
+    /// Analytic forecasting set: sample `k` maps the field at `times[k].0`
+    /// to the field at `times[k].1`.
+    pub fn tgv_forecast(mesh: &BoxMesh, field: &TaylorGreen, times: &[(f64, f64)]) -> Self {
+        Self::from_pairs(
+            mesh.num_global_nodes(),
+            times
+                .iter()
+                .map(|&(t0, t1)| {
+                    (
+                        global_velocity(mesh, field, t0),
+                        global_velocity(mesh, field, t1),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Samples per optimizer step (default 1; the last batch of an epoch
+    /// may be short).
+    ///
+    /// # Panics
+    /// If `batch_size` is zero.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Disable per-epoch shuffling: every epoch visits the samples in
+    /// insertion order.
+    pub fn sequential(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    /// Use a dedicated shuffle seed instead of inheriting the session's
+    /// seed — decouples batch order from parameter initialization.
+    pub fn shuffle_seed(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Number of snapshot pairs.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples (constructors forbid this).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Unique global nodes each snapshot covers — must match the session
+    /// mesh's `num_global_nodes` (validated by `SessionBuilder::build`).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Optimizer steps one epoch takes: `ceil(len / batch_size)`.
+    pub fn steps_per_epoch(&self) -> u64 {
+        (self.len() as u64).div_ceil(self.batch_size as u64)
+    }
+
+    /// The deterministic batching schedule this dataset induces;
+    /// `session_seed` is used unless [`Dataset::shuffle_seed`] pinned one.
+    pub fn schedule(&self, session_seed: u64) -> EpochSchedule {
+        EpochSchedule::new(
+            self.len(),
+            self.batch_size,
+            self.shuffle,
+            self.shuffle_seed.unwrap_or(session_seed),
+        )
+    }
+
+    /// Materialize every sample for one rank: slice the gid-major global
+    /// buffers through the local graph's gid list and build index/edge
+    /// structures. Called once per rank at launch.
+    pub(crate) fn rank_samples(&self, graph: &Arc<LocalGraph>) -> Vec<RankData> {
+        self.samples
+            .iter()
+            .map(|s| {
+                RankData::new(
+                    Arc::clone(graph),
+                    extract(&s.input, graph),
+                    extract(&s.target, graph),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Gather one rank's `[n_local, 3]` row-major feature buffer out of a
+/// gid-major global snapshot.
+fn extract(global: &[f64], g: &LocalGraph) -> Vec<f64> {
+    let mut out = Vec::with_capacity(g.n_local() * NODE_FEATS);
+    for &gid in &g.gids {
+        let base = gid as usize * NODE_FEATS;
+        out.extend_from_slice(&global[base..base + NODE_FEATS]);
+    }
+    out
+}
+
+/// The Taylor-Green velocity field sampled at every global node, gid-major.
+fn global_velocity(mesh: &BoxMesh, field: &TaylorGreen, t: f64) -> Vec<f64> {
+    let n = mesh.num_global_nodes();
+    let mut out = Vec::with_capacity(n * NODE_FEATS);
+    for gid in 0..n as u64 {
+        out.extend_from_slice(&field.velocity(mesh.node_pos(gid), t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnn_graph::{build_distributed_graph, build_global_graph};
+    use cgnn_partition::{Partition, Strategy};
+
+    #[test]
+    fn tgv_autoencode_builds_matching_rank_data() {
+        let mesh = BoxMesh::tgv_cube(2, 2);
+        let field = TaylorGreen::new(0.01);
+        let ds = Dataset::tgv_autoencode(&mesh, &field, &[0.0, 0.2]);
+        assert_eq!(ds.len(), 2);
+        let global = Arc::new(build_global_graph(&mesh));
+        let samples = ds.rank_samples(&global);
+        // Autoencoding: input == target, and it matches the analytic field.
+        for (i, &gid) in global.gids.iter().enumerate() {
+            let v = field.velocity(mesh.node_pos(gid), 0.2);
+            for c in 0..3 {
+                assert_eq!(samples[1].x.get(i, c), v[c]);
+                assert_eq!(samples[1].target.get(i, c), v[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_extraction_is_partition_consistent() {
+        let mesh = BoxMesh::tgv_cube(2, 2);
+        let field = TaylorGreen::new(0.01);
+        let ds = Dataset::tgv_forecast(&mesh, &field, &[(0.0, 0.1)]);
+        let global = Arc::new(build_global_graph(&mesh));
+        let reference = ds.rank_samples(&global);
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        for g in build_distributed_graph(&mesh, &part) {
+            let g = Arc::new(g);
+            let local = ds.rank_samples(&g);
+            for (i, &gid) in g.gids.iter().enumerate() {
+                let gr = global.local_of_gid(gid).expect("gid in global graph");
+                for c in 0..3 {
+                    assert_eq!(local[0].x.get(i, c), reference[0].x.get(gr, c));
+                    assert_eq!(local[0].target.get(i, c), reference[0].target.get(gr, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_respects_overrides() {
+        let mesh = BoxMesh::tgv_cube(2, 2);
+        let field = TaylorGreen::new(0.01);
+        let ds = Dataset::tgv_autoencode(&mesh, &field, &[0.0, 0.1, 0.2]).batch_size(2);
+        assert_eq!(ds.steps_per_epoch(), 2);
+        assert_eq!(ds.schedule(7).seed, 7, "seed inherited from the session");
+        let pinned = ds.clone().shuffle_seed(99).sequential();
+        let s = pinned.schedule(7);
+        assert_eq!(s.seed, 99);
+        assert!(!s.shuffle);
+        assert_eq!(s.order(4), vec![0, 1, 2]);
+    }
+}

@@ -4,10 +4,20 @@
 use std::sync::Arc;
 
 use cgnn_comm::{Comm, StatsSnapshot};
-use cgnn_core::{RankData, Trainer};
+use cgnn_core::{EpochReport, EpochSchedule, RankData, Trainer};
 use cgnn_graph::LocalGraph;
 use cgnn_mesh::TaylorGreen;
 use cgnn_tensor::Tensor;
+
+use crate::checkpoint::CheckpointPolicy;
+
+/// One rank's materialized slice of the session dataset: every sample as
+/// ready-to-train [`RankData`], plus the deterministic batching schedule
+/// (identical on all ranks).
+pub(crate) struct RankDataset {
+    pub(crate) samples: Vec<RankData>,
+    pub(crate) schedule: EpochSchedule,
+}
 
 /// One rank's view of a running session: its communicator, its reduced
 /// distributed graph, and a trainer wired to the session's halo exchange.
@@ -17,6 +27,8 @@ pub struct RankHandle {
     graph: Arc<LocalGraph>,
     trainer: Trainer,
     label: &'static str,
+    dataset: Option<Arc<RankDataset>>,
+    ckpt_policy: Option<CheckpointPolicy>,
 }
 
 impl RankHandle {
@@ -25,13 +37,26 @@ impl RankHandle {
         graph: Arc<LocalGraph>,
         trainer: Trainer,
         label: &'static str,
+        dataset: Option<Arc<RankDataset>>,
+        ckpt_policy: Option<CheckpointPolicy>,
     ) -> Self {
         RankHandle {
             comm,
             graph,
             trainer,
             label,
+            dataset,
+            ckpt_policy,
         }
+    }
+
+    /// This rank's materialized dataset, or a panic pointing at the
+    /// builder method that configures one.
+    fn dataset(&self) -> Arc<RankDataset> {
+        Arc::clone(self.dataset.as_ref().expect(
+            "this session has no dataset: configure one with \
+             Session::builder().dataset(..)",
+        ))
     }
 
     /// This rank's index.
@@ -100,6 +125,85 @@ impl RankHandle {
     /// Collective.
     pub fn train(&mut self, data: &RankData, iterations: usize) -> Vec<f64> {
         self.trainer.train(data, iterations)
+    }
+
+    /// Train over the session dataset until `epochs` epochs are complete,
+    /// returning one [`EpochReport`] per epoch actually run. Collective.
+    ///
+    /// The loop is *resume-aware*: the starting position is derived from
+    /// the trainer's optimizer step count, so a session restored from a
+    /// mid-run checkpoint (periodic or manual) continues with exactly the
+    /// remaining batches — the shuffled order is recomputed from `(seed,
+    /// epoch)` alone — and the combined trajectory is bit-identical to the
+    /// uninterrupted run. A trainer already at or past `epochs` returns an
+    /// empty report list.
+    ///
+    /// If the session configured a [`CheckpointPolicy`], rank 0 writes a
+    /// checkpoint every `every_steps` optimizer steps and prunes old files
+    /// beyond the retention count.
+    ///
+    /// # Panics
+    /// If the session has no dataset, or a periodic checkpoint write
+    /// fails.
+    pub fn train_epochs(&mut self, epochs: u64) -> Vec<EpochReport> {
+        let ds = self.dataset();
+        let spe = ds.schedule.steps_per_epoch();
+        let policy = if self.rank() == 0 {
+            self.ckpt_policy.clone()
+        } else {
+            None
+        };
+        let mut reports = Vec::new();
+        while self.trainer.steps_taken() < epochs * spe {
+            let (epoch, _) = ds.schedule.position(self.trainer.steps_taken());
+            let report =
+                self.trainer
+                    .train_epoch_with(&ds.samples, &ds.schedule, epoch, |trainer, step| {
+                        if let Some(p) = &policy {
+                            if p.is_due(step) {
+                                p.save_step(trainer, step).expect("periodic checkpoint");
+                            }
+                        }
+                    });
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Mean consistent loss of the current parameters over every dataset
+    /// sample, in canonical (unshuffled) order. Identical on every rank.
+    /// Collective.
+    ///
+    /// # Panics
+    /// If the session has no dataset.
+    pub fn eval_dataset(&self) -> f64 {
+        let ds = self.dataset();
+        self.trainer.eval_mean_loss(&ds.samples)
+    }
+
+    /// Number of samples in the session dataset (`None` when the session
+    /// has no dataset).
+    pub fn dataset_len(&self) -> Option<usize> {
+        self.dataset.as_ref().map(|ds| ds.samples.len())
+    }
+
+    /// The deterministic batching schedule of the session dataset (`None`
+    /// when the session has no dataset). Identical on every rank.
+    pub fn dataset_schedule(&self) -> Option<EpochSchedule> {
+        self.dataset.as_ref().map(|ds| ds.schedule)
+    }
+
+    /// Borrow one materialized dataset sample for custom evaluation or
+    /// rollout schedules.
+    ///
+    /// # Panics
+    /// If the session has no dataset or `i` is out of range.
+    pub fn dataset_sample(&self, i: usize) -> &RankData {
+        let ds = self.dataset.as_ref().expect(
+            "this session has no dataset: configure one with \
+             Session::builder().dataset(..)",
+        );
+        &ds.samples[i]
     }
 
     /// Consistent loss of the current parameters, no update. Collective.

@@ -42,11 +42,25 @@
 //! are bit-identical across backends. Sessions also checkpoint:
 //! [`RankHandle::save_params`] writes parameters + optimizer state, and
 //! [`Session::restore`] resumes a run **bit-identically**.
+//!
+//! Realistic surrogate training runs over a snapshot stream rather than a
+//! single time pair: [`SessionBuilder::dataset`] attaches a [`Dataset`]
+//! (solver-generated, hand-built, or analytic) whose mini-batch epochs
+//! are driven by [`RankHandle::train_epochs`] under a deterministic
+//! seeded shuffle, with opt-in every-k-step checkpointing via
+//! [`SessionBuilder::checkpoint`] and [`CheckpointPolicy`]. See
+//! `docs/TRAINING.md` at the repository root for the end-to-end guide.
+
+#![warn(missing_docs)]
 
 pub mod builder;
+pub mod checkpoint;
+pub mod dataset;
 pub mod handle;
 pub mod session;
 
 pub use builder::{ExchangeSpec, SessionBuilder, SessionError};
+pub use checkpoint::CheckpointPolicy;
+pub use dataset::Dataset;
 pub use handle::RankHandle;
 pub use session::Session;

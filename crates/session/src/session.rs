@@ -6,14 +6,16 @@ use std::path::Path;
 use std::sync::Arc;
 
 use cgnn_comm::Backend;
-use cgnn_core::{ConsistentGnn, GnnConfig, Trainer};
+use cgnn_core::{ConsistentGnn, EpochReport, GnnConfig, Trainer};
 use cgnn_graph::LocalGraph;
 use cgnn_mesh::{BoxMesh, TaylorGreen};
 use cgnn_partition::Partition;
 use cgnn_tensor::{AdamState, ParamSet};
 
 use crate::builder::{ExchangeSpec, SessionBuilder};
-use crate::handle::RankHandle;
+use crate::checkpoint::CheckpointPolicy;
+use crate::dataset::Dataset;
+use crate::handle::{RankDataset, RankHandle};
 
 /// A fully wired pipeline instance: mesh, partition, per-rank graphs, and
 /// the recipe (exchange strategy, model config, seed, learning rate) for
@@ -40,6 +42,12 @@ pub struct Session {
     /// Checkpoint each run's trainers start from instead of seeded init
     /// (set by [`Session::restore`]; validated eagerly at restore time).
     checkpoint: Option<Arc<(ParamSet, AdamState)>>,
+    /// The snapshot-stream training set epoch methods run over, if
+    /// configured.
+    dataset: Option<Arc<Dataset>>,
+    /// Opt-in every-k-step checkpoint schedule applied during epoch
+    /// training.
+    ckpt_policy: Option<CheckpointPolicy>,
 }
 
 impl std::fmt::Debug for Session {
@@ -72,6 +80,8 @@ impl Session {
         config: GnnConfig,
         seed: u64,
         lr: f64,
+        dataset: Option<Arc<Dataset>>,
+        ckpt_policy: Option<CheckpointPolicy>,
     ) -> Self {
         Session {
             mesh,
@@ -83,6 +93,8 @@ impl Session {
             seed,
             lr,
             checkpoint: None,
+            dataset,
+            ckpt_policy,
         }
     }
 
@@ -124,6 +136,16 @@ impl Session {
     /// The communication transport this session launches ranks on.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The configured snapshot-stream training set, if any.
+    pub fn dataset(&self) -> Option<&Arc<Dataset>> {
+        self.dataset.as_ref()
+    }
+
+    /// The configured periodic-checkpoint schedule, if any.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.ckpt_policy.as_ref()
     }
 
     /// A sibling session differing only in its exchange strategy. The
@@ -170,7 +192,7 @@ impl Session {
     }
 
     /// Cheap structural copy: shares mesh/partition/graphs, keeps the
-    /// recipe (exchange, backend, config, seed, lr, checkpoint).
+    /// recipe (exchange, backend, config, seed, lr, dataset, checkpoints).
     fn shallow_clone(&self) -> Session {
         Session {
             mesh: Arc::clone(&self.mesh),
@@ -182,6 +204,8 @@ impl Session {
             seed: self.seed,
             lr: self.lr,
             checkpoint: self.checkpoint.clone(),
+            dataset: self.dataset.clone(),
+            ckpt_policy: self.ckpt_policy.clone(),
         }
     }
 
@@ -204,7 +228,20 @@ impl Session {
                     .restore(&ckpt.0, &ckpt.1)
                     .expect("checkpoint validated in Session::restore");
             }
-            let mut handle = RankHandle::new(comm.clone(), graph, trainer, self.exchange.label());
+            let dataset = self.dataset.as_ref().map(|ds| {
+                Arc::new(RankDataset {
+                    samples: ds.rank_samples(&graph),
+                    schedule: ds.schedule(self.seed),
+                })
+            });
+            let mut handle = RankHandle::new(
+                comm.clone(),
+                graph,
+                trainer,
+                self.exchange.label(),
+                dataset,
+                self.ckpt_policy.clone(),
+            );
             f(&mut handle)
         })
     }
@@ -233,6 +270,28 @@ impl Session {
             let data = h.autoencode_data(field, t);
             h.eval_loss(&data)
         })[0]
+    }
+
+    /// Convenience: run [`RankHandle::train_epochs`] on every rank over
+    /// the configured dataset and return the per-rank epoch reports (in
+    /// rank order; with a consistent exchange all ranks report identical
+    /// losses). Applies the periodic-checkpoint policy if one was
+    /// configured.
+    ///
+    /// # Panics
+    /// If the session has no dataset (`SessionBuilder::dataset`).
+    pub fn train_epochs(&self, epochs: u64) -> Vec<Vec<EpochReport>> {
+        self.run(|h| h.train_epochs(epochs))
+    }
+
+    /// Convenience: mean consistent loss of the current (seeded or
+    /// restored) parameters over the whole dataset, evaluated distributed
+    /// and identical on every rank; rank 0's value is returned.
+    ///
+    /// # Panics
+    /// If the session has no dataset (`SessionBuilder::dataset`).
+    pub fn eval_dataset(&self) -> f64 {
+        self.run(|h| h.eval_dataset())[0]
     }
 }
 

@@ -125,6 +125,12 @@ impl Adam {
         }
     }
 
+    /// Number of optimizer steps taken so far (restored along with the
+    /// moments by [`Adam::set_state`]). Cheap — no state is cloned.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
     /// Snapshot the optimizer state (step count + moment estimates). Before
     /// the first step the moments are empty, which round-trips correctly:
     /// they are lazily initialized on the next step.

@@ -18,6 +18,14 @@
 //! assert_eq!(histories[0], histories[1]);
 //! ```
 
+/// Doctest anchor for the training guide: every Rust block in
+/// `docs/TRAINING.md` compiles and runs under `cargo test --doc`, so the
+/// guide cannot drift from the API it documents. Hidden from rustdoc
+/// output; the guide itself is the rendered artifact.
+#[doc = include_str!("../docs/TRAINING.md")]
+#[doc(hidden)]
+pub mod _training_guide {}
+
 pub use cgnn_comm as comm;
 pub use cgnn_core as core;
 pub use cgnn_graph as graph;
@@ -28,20 +36,23 @@ pub use cgnn_sem as sem;
 pub use cgnn_session as session;
 pub use cgnn_tensor as tensor;
 
-/// The types almost every program touches: the session front-end, the mesh
-/// and field generators, partitioning, the halo exchange strategies, the
-/// trainer, and the traffic counters.
+/// The types almost every program touches: the session front-end, datasets
+/// and epoch training, the mesh and field generators, partitioning, the
+/// halo exchange strategies, the trainer, and the traffic counters.
 pub mod prelude {
     pub use cgnn_comm::{
         Backend, Comm, CommBackend, RecvRequest, SendRequest, StatsSnapshot, World,
     };
     pub use cgnn_core::{
-        halo_exchange_apply, ConsistentGnn, ExchangeTraffic, GnnConfig, HaloContext, HaloExchange,
-        HaloExchangeMode, RankData, Trainer,
+        halo_exchange_apply, ConsistentGnn, EpochReport, EpochSchedule, ExchangeTraffic, GnnConfig,
+        HaloContext, HaloExchange, HaloExchangeMode, RankData, Trainer,
     };
     pub use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
     pub use cgnn_mesh::{BoxMesh, TaylorGreen};
     pub use cgnn_partition::{Partition, Strategy};
-    pub use cgnn_session::{RankHandle, Session, SessionBuilder, SessionError};
+    pub use cgnn_sem::{SnapshotPair, SnapshotStream};
+    pub use cgnn_session::{
+        CheckpointPolicy, Dataset, RankHandle, Session, SessionBuilder, SessionError,
+    };
     pub use cgnn_tensor::{Tape, Tensor};
 }

@@ -1,0 +1,260 @@
+//! Snapshot-stream epoch training: deterministic shuffling, cross-backend
+//! bit-identity, and crash recovery from periodic checkpoints.
+//!
+//! The defining properties of the dataset subsystem:
+//! * batch order is a pure function of `(seed, epoch)` — identical on
+//!   every rank and every comm backend,
+//! * epoch training over a stream is bit-identical across backends,
+//! * a run resumed from a mid-run periodic checkpoint continues with
+//!   exactly the batches the uninterrupted run would have taken, bit for
+//!   bit — including mid-epoch checkpoints.
+
+use cgnn::prelude::*;
+
+const SEED: u64 = 31;
+const LR: f64 = 1e-3;
+
+fn mesh() -> BoxMesh {
+    BoxMesh::new((4, 4, 2), 1, (1.0, 1.0, 1.0), false)
+}
+
+/// A 4-snapshot Taylor-Green autoencoding stream, one sample per step.
+fn dataset() -> Dataset {
+    Dataset::tgv_autoencode(&mesh(), &TaylorGreen::new(0.01), &[0.0, 0.1, 0.2, 0.3])
+}
+
+fn builder(backend: Backend) -> SessionBuilder {
+    Session::builder()
+        .mesh(mesh())
+        .partition(Strategy::Block)
+        .ranks(4)
+        .exchange(HaloExchangeMode::NeighborAllToAll)
+        .dataset(dataset())
+        .seed(SEED)
+        .learning_rate(LR)
+        .backend(backend)
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cgnn_ds_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Same seed ⇒ identical shuffled batch order on every rank and over every
+/// backend, and the full per-batch loss trajectories agree bit for bit.
+#[test]
+fn same_seed_same_batch_order_across_backends() {
+    let threads = builder(Backend::Threads).build().expect("session");
+    let serial = builder(Backend::Serial).build().expect("session");
+
+    // The schedule every rank derives is identical (pure function of the
+    // seed), regardless of backend.
+    let sched_threads = threads.run(|h| h.dataset_schedule().expect("schedule"));
+    let sched_serial = serial.run(|h| h.dataset_schedule().expect("schedule"));
+    assert!(
+        sched_threads.iter().all(|s| *s == sched_threads[0]),
+        "ranks must agree on the schedule"
+    );
+    assert_eq!(sched_threads, sched_serial);
+    let s = sched_threads[0];
+    assert_eq!(s.steps_per_epoch(), 4);
+    assert_ne!(s.order(0), s.order(1), "epochs must reshuffle");
+
+    // And the realized training trajectories are bit-identical: same
+    // batches, same arithmetic, different transport.
+    let a = threads.train_epochs(3);
+    let b = serial.train_epochs(3);
+    assert_eq!(a, b, "epoch training must be backend-invariant");
+    for rank in 1..a.len() {
+        assert_eq!(a[0], a[rank], "ranks must report identical epochs");
+    }
+    // Reports carry their position: 3 epochs x 4 steps.
+    assert_eq!(a[0].len(), 3);
+    for (e, r) in a[0].iter().enumerate() {
+        assert_eq!(r.epoch, e as u64);
+        assert_eq!(r.first_step, 4 * e as u64);
+        assert_eq!(r.batch_losses.len(), 4);
+    }
+}
+
+/// A different shuffle seed realizes a different batch order (the loss
+/// trajectory differs step by step), while the sequential dataset visits
+/// insertion order every epoch.
+#[test]
+fn shuffle_seed_controls_the_realized_order() {
+    let base = builder(Backend::Threads).build().expect("session");
+    let reseeded = builder(Backend::Threads)
+        .dataset(dataset().shuffle_seed(777))
+        .build()
+        .expect("session");
+    let a = base.train_epochs(1).remove(0);
+    let b = reseeded.train_epochs(1).remove(0);
+    assert_ne!(
+        a[0].batch_losses, b[0].batch_losses,
+        "different shuffle seeds must realize different batch orders"
+    );
+
+    let sequential = builder(Backend::Threads)
+        .dataset(dataset().sequential())
+        .build()
+        .expect("session");
+    let orders = sequential.run(|h| h.dataset_schedule().expect("schedule").order(5));
+    assert_eq!(orders[0], vec![0, 1, 2, 3]);
+}
+
+/// The single-snapshot dataset path reproduces the classic
+/// `autoencode_data` + `train` loop bit for bit: same features, same
+/// arithmetic, new bookkeeping.
+#[test]
+fn single_snapshot_epochs_match_plain_training() {
+    let s = builder(Backend::Threads)
+        .dataset(Dataset::tgv_autoencode(&mesh(), &TaylorGreen::new(0.01), &[0.2]).sequential())
+        .build()
+        .expect("session");
+    let epochs = s.train_epochs(6).remove(0);
+    let flat: Vec<f64> = epochs.iter().flat_map(|r| r.batch_losses.clone()).collect();
+    let classic = s
+        .train_autoencode(&TaylorGreen::new(0.01), 0.2, 6)
+        .remove(0);
+    assert_eq!(flat, classic, "dataset path must not perturb arithmetic");
+}
+
+/// **Crash recovery** (the tentpole acceptance property): train with
+/// every-3-steps checkpointing, "crash" after 2 of 3 epochs, restore the
+/// *mid-epoch* step-6 checkpoint, and finish. The resumed trajectory must
+/// be bit-identical to the uninterrupted 3-epoch run — Adam state, shuffle
+/// order, and mid-epoch position all recovered exactly.
+#[test]
+fn resume_from_mid_run_periodic_checkpoint_is_bit_identical() {
+    let dir = tmp_dir("resume");
+    // Uninterrupted reference: 3 epochs x 4 steps = 12 optimizer steps.
+    let reference = builder(Backend::Threads)
+        .build()
+        .expect("session")
+        .train_epochs(3)
+        .remove(0);
+    let ref_flat: Vec<f64> = reference
+        .iter()
+        .flat_map(|r| r.batch_losses.clone())
+        .collect();
+
+    // Interrupted run: periodic checkpoints at steps 3, 6 (mid-epoch 1), 8.
+    let s = builder(Backend::Threads)
+        .checkpoint(CheckpointPolicy::every(3, &dir).retain(0))
+        .build()
+        .expect("session");
+    let head = s.train_epochs(2).remove(0);
+    let head_flat: Vec<f64> = head.iter().flat_map(|r| r.batch_losses.clone()).collect();
+    assert_eq!(head_flat, ref_flat[..8], "head must match the reference");
+
+    // Step 6 is mid-epoch (epoch 1 spans steps 4..8): the hardest resume.
+    let ckpt = s.checkpoint_policy().expect("policy").path_for_step(6);
+    assert!(ckpt.exists(), "periodic checkpoint at step 6 must exist");
+    let resumed = s.restore(&ckpt).expect("restore").train_epochs(3).remove(0);
+    assert_eq!(resumed[0].epoch, 1, "resume lands inside epoch 1");
+    assert_eq!(resumed[0].first_step, 6);
+    assert_eq!(resumed[0].batch_losses.len(), 2, "finish epoch 1 (2 steps)");
+    let resumed_flat: Vec<f64> = resumed
+        .iter()
+        .flat_map(|r| r.batch_losses.clone())
+        .collect();
+    assert_eq!(
+        resumed_flat,
+        ref_flat[6..],
+        "resumed trajectory must be bit-identical to the uninterrupted run"
+    );
+
+    // The restored session inherits the policy, so the resumed run kept
+    // checkpointing on the same global schedule: steps 9 and 12 were
+    // written during the tail, and `latest` now points at the end state.
+    let latest = CheckpointPolicy::latest(&dir).expect("scan").expect("some");
+    assert_eq!(CheckpointPolicy::step_of(&latest), Some(12));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Batched epochs resume exactly too, across backends: checkpoint under
+/// threads mid-run, resume on the serial backend, identical trajectory.
+#[test]
+fn batched_resume_round_trips_across_backends() {
+    let dir = tmp_dir("batched");
+    let with_batches = |backend| {
+        builder(backend)
+            .dataset(dataset().batch_size(3)) // 4 samples -> steps of 3 + 1
+            .checkpoint(CheckpointPolicy::every(1, &dir))
+            .build()
+            .expect("session")
+    };
+    // Uninterrupted reference, without a policy so the checkpoint dir only
+    // sees the interrupted run below.
+    let reference = builder(Backend::Threads)
+        .dataset(dataset().batch_size(3))
+        .build()
+        .expect("session");
+    let full: Vec<f64> = reference
+        .train_epochs(4)
+        .remove(0)
+        .iter()
+        .flat_map(|r| r.batch_losses.clone())
+        .collect();
+    // Interrupted run: checkpoint every step, stop after 2 of 8 steps, and
+    // resume the tail on the other backend.
+    let head = with_batches(Backend::Threads);
+    head.run(|h| {
+        let r = h.train_epochs(1);
+        assert_eq!(r[0].batch_losses.len(), 2);
+    });
+    let ckpt = CheckpointPolicy::latest(&dir).expect("scan").expect("some");
+    assert_eq!(CheckpointPolicy::step_of(&ckpt), Some(2));
+    let resumed: Vec<f64> = with_batches(Backend::Serial)
+        .restore(&ckpt)
+        .expect("restore")
+        .train_epochs(4)
+        .remove(0)
+        .iter()
+        .flat_map(|r| r.batch_losses.clone())
+        .collect();
+    assert_eq!(resumed, full[2..], "cross-backend batched resume diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention keeps only the most recent checkpoints.
+#[test]
+fn retention_prunes_old_checkpoints() {
+    let dir = tmp_dir("retain");
+    let s = builder(Backend::Threads)
+        .checkpoint(CheckpointPolicy::every(2, &dir).retain(2))
+        .build()
+        .expect("session");
+    s.train_epochs(2); // 8 steps -> checkpoints at 2, 4, 6, 8; keep 6, 8.
+    let mut steps: Vec<u64> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| CheckpointPolicy::step_of(&e.ok()?.path()))
+        .collect();
+    steps.sort_unstable();
+    assert_eq!(steps, vec![6, 8], "retention must keep the 2 newest");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dataset/mesh mismatches are rejected at build time, not inside the
+/// SPMD region.
+#[test]
+fn builder_rejects_mismatched_dataset() {
+    let other = BoxMesh::tgv_cube(2, 2);
+    let err = Session::builder()
+        .mesh(mesh())
+        .dataset(Dataset::tgv_autoencode(
+            &other,
+            &TaylorGreen::new(0.01),
+            &[0.0],
+        ))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SessionError::DatasetMeshMismatch {
+            dataset_nodes: other.num_global_nodes(),
+            mesh_nodes: mesh().num_global_nodes(),
+        }
+    );
+}
