@@ -1,0 +1,243 @@
+//! Hot-path throughput benchmark: training steps/sec and exchange-hidden
+//! fraction across rank counts and halo-exchange modes.
+//!
+//! Sweeps `R x mode` (all built-in [`HaloExchangeMode`]s at `R > 1`; the
+//! exchange is an identity at `R = 1`), measuring:
+//!
+//! * **steps/sec** — full training steps (forward, consistent loss,
+//!   backward, fused DDP all-reduce, Adam) per wall-clock second, best of
+//!   `CGNN_BENCH_REPS` repetitions (the machine this tracks runs on is a
+//!   shared VM; best-of filters scheduler noise),
+//! * **exchange-hidden fraction** — for the overlapped schedule (`Ovl-SR`),
+//!   `window / (window + wait)` from `cgnn-core`'s overlap timers: the
+//!   share of exchange latency hidden behind the interior-node MLP,
+//! * **consistency** — the per-step loss trajectories of all consistent
+//!   modes must be bit-identical at every `R` (asserted, recorded).
+//!
+//! Results are written to `BENCH_hotpath.json` at the repo root so the
+//! perf trajectory is tracked in-tree. The committed file also records the
+//! pre-PR baseline throughput measured at the default bench size on the
+//! same machine, making the speedup auditable. Regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p cgnn-bench --bin hotpath
+//! ```
+//!
+//! Env overrides: `CGNN_BENCH_ELEMS` (6), `CGNN_BENCH_POLY` (2),
+//! `CGNN_BENCH_STEPS` (10), `CGNN_BENCH_WARMUP` (2), `CGNN_BENCH_REPS`
+//! (3), `CGNN_BENCH_RANKS` ("1,2,4,8"), `CGNN_BENCH_MODEL`
+//! ("small"/"large"), `CGNN_NUM_THREADS` (kernel worker pinning).
+
+use std::time::Instant;
+
+use cgnn_bench::{env_usize, serde_json, BASELINE_STEPS_PER_SEC};
+use cgnn_core::mp_layer::overlap_stats;
+use cgnn_core::{GnnConfig, HaloExchangeMode};
+use cgnn_mesh::{BoxMesh, TaylorGreen};
+use cgnn_session::Session;
+use serde_json::json;
+
+/// One measured `R x mode` cell.
+struct Cell {
+    ranks: usize,
+    mode: HaloExchangeMode,
+    steps_per_sec: f64,
+    hidden_fraction: f64,
+    losses: Vec<f64>,
+}
+
+fn measure(session: &Session, mode: HaloExchangeMode, steps: usize, warmup: usize) -> Cell {
+    let session = session.with_exchange(mode);
+    let field = TaylorGreen::new(0.01);
+    let per_rank = session.run(move |handle| {
+        let data = handle.autoencode_data(&field, 0.0);
+        for _ in 0..warmup {
+            handle.step(&data);
+        }
+        overlap_stats::reset();
+        handle.comm().barrier();
+        let t0 = Instant::now();
+        let losses: Vec<f64> = (0..steps).map(|_| handle.step(&data)).collect();
+        handle.comm().barrier();
+        let elapsed = t0.elapsed().as_secs_f64();
+        (elapsed, overlap_stats::snapshot(), losses)
+    });
+    let elapsed = per_rank.iter().map(|(e, _, _)| *e).fold(0.0f64, f64::max);
+    let windows: u64 = per_rank.iter().map(|(_, w, _)| w.windows).sum();
+    let hidden = if windows == 0 {
+        0.0
+    } else {
+        // Mean of per-rank hidden fractions, ranks without windows excluded.
+        let (sum, n) = per_rank
+            .iter()
+            .filter(|(_, w, _)| w.windows > 0)
+            .fold((0.0, 0u32), |(s, n), (_, w, _)| {
+                (s + w.hidden_fraction(), n + 1)
+            });
+        sum / n.max(1) as f64
+    };
+    Cell {
+        ranks: session.ranks(),
+        mode,
+        steps_per_sec: steps as f64 / elapsed,
+        hidden_fraction: hidden,
+        losses: per_rank.into_iter().next().expect("rank 0").2,
+    }
+}
+
+fn main() {
+    let elems = env_usize("CGNN_BENCH_ELEMS", 6);
+    let poly = env_usize("CGNN_BENCH_POLY", 2);
+    let steps = env_usize("CGNN_BENCH_STEPS", 10);
+    let warmup = env_usize("CGNN_BENCH_WARMUP", 2);
+    let reps = env_usize("CGNN_BENCH_REPS", 3);
+    let model = std::env::var("CGNN_BENCH_MODEL").unwrap_or_else(|_| "small".into());
+    let config = match model.as_str() {
+        "large" => GnnConfig::large(),
+        _ => GnnConfig::small(),
+    };
+    let ranks: Vec<usize> = std::env::var("CGNN_BENCH_RANKS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    let mesh = BoxMesh::new((elems, elems, elems), poly, (1.0, 1.0, 1.0), false);
+    let probe = Session::builder()
+        .mesh(mesh.clone())
+        .model(config)
+        .seed(42)
+        .build()
+        .expect("probe session");
+    let (nodes, edges) = (probe.graph(0).n_local(), probe.graph(0).n_edges());
+    println!(
+        "hotpath: {elems}^3 elements p={poly} ({nodes} nodes, {edges} edges), \
+         model {model}, {steps} steps x {reps} reps (warmup {warmup})\n"
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9}",
+        "ranks", "mode", "steps/s", "ms/step", "hidden"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &r in &ranks {
+        let session = Session::builder()
+            .mesh(mesh.clone())
+            .ranks(r)
+            .model(config)
+            .seed(42)
+            .learning_rate(1e-3)
+            .build()
+            .unwrap_or_else(|e| panic!("R={r} session: {e:?}"));
+        // The exchange is an identity at R = 1; sweep modes only beyond it.
+        let modes: Vec<HaloExchangeMode> = if r == 1 {
+            vec![HaloExchangeMode::None]
+        } else {
+            HaloExchangeMode::all().to_vec()
+        };
+        for mode in modes {
+            let mut best: Option<Cell> = None;
+            for _ in 0..reps {
+                let cell = measure(&session, mode, steps, warmup);
+                if best
+                    .as_ref()
+                    .is_none_or(|b| cell.steps_per_sec > b.steps_per_sec)
+                {
+                    best = Some(cell);
+                }
+            }
+            let cell = best.expect("at least one rep");
+            println!(
+                "{:>6} {:>10} {:>12.3} {:>12.3} {:>9.3}",
+                cell.ranks,
+                cell.mode,
+                cell.steps_per_sec,
+                1e3 / cell.steps_per_sec,
+                cell.hidden_fraction
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Invariants the CI perf-smoke relies on.
+    let consistent_ok = ranks.iter().all(|&r| {
+        let consistent: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.ranks == r && c.mode.is_consistent())
+            .collect();
+        consistent.windows(2).all(|p| {
+            if p[0].losses != p[1].losses {
+                eprintln!(
+                    "R={r}: consistent modes {} and {} diverged",
+                    p[0].mode, p[1].mode
+                );
+            }
+            p[0].losses == p[1].losses
+        })
+    });
+    assert!(consistent_ok, "consistent exchange modes diverged");
+    for c in &cells {
+        assert!(
+            c.steps_per_sec.is_finite() && c.steps_per_sec > 0.0,
+            "non-positive throughput"
+        );
+        assert!(
+            (0.0..=1.0).contains(&c.hidden_fraction),
+            "hidden fraction out of range"
+        );
+        if c.mode == HaloExchangeMode::Overlapped {
+            assert!(
+                c.hidden_fraction > 0.0,
+                "overlapped mode opened no compute window"
+            );
+        }
+    }
+
+    let default_size = elems == 6 && poly == 2 && model == "small" && steps == 10;
+    let r1 = cells
+        .iter()
+        .filter(|c| c.ranks == 1)
+        .map(|c| c.steps_per_sec)
+        .fold(0.0f64, f64::max);
+    let json = json!({
+        "bench": "hotpath",
+        "mesh": {"elems": elems, "poly": poly, "nodes": nodes, "edges": edges},
+        "model": model,
+        "protocol": {
+            "steps": steps,
+            "warmup": warmup,
+            "reps": reps,
+            "metric": "best-of-reps wall-clock steps/sec (shared-VM noise filter)",
+        },
+        "baseline": {
+            "steps_per_sec": BASELINE_STEPS_PER_SEC,
+            "note": "pre-PR commit 2c6dbcf, R=1, default bench size, same machine/methodology",
+            "applies_to_this_run": default_size,
+        },
+        "speedup_vs_baseline": if default_size { Some(r1 / BASELINE_STEPS_PER_SEC) } else { None },
+        "consistent_modes_bit_identical": consistent_ok,
+        "results": cells.iter().map(|c| json!({
+            "ranks": c.ranks,
+            "mode": c.mode.label(),
+            "steps_per_sec": c.steps_per_sec,
+            "ms_per_step": 1e3 / c.steps_per_sec,
+            "exchange_hidden_fraction": c.hidden_fraction,
+            "final_loss": c.losses.last(),
+        })).collect::<Vec<_>>(),
+    });
+    let path = "BENCH_hotpath.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write BENCH_hotpath.json");
+    println!("\n[wrote {path}]");
+    if default_size {
+        println!(
+            "R=1 throughput {:.3} steps/s = {:.2}x the pre-PR baseline ({:.3} steps/s)",
+            r1,
+            r1 / BASELINE_STEPS_PER_SEC,
+            BASELINE_STEPS_PER_SEC
+        );
+    }
+}

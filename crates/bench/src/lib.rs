@@ -49,3 +49,12 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
 /// serde bridge: serde is re-exported through serde_json's dependency; the
 /// bound above needs the real crate.
 pub use serde;
+pub use serde_json;
+
+/// Pre-PR single-rank training-step throughput at the `hotpath` bench's
+/// default size (6^3 elements, p = 2, small model), measured on the
+/// tracking machine as the best of five 10-step runs at commit `2c6dbcf`
+/// (before the parallel-kernel / tape-workspace / overlap work). Recorded
+/// into `BENCH_hotpath.json` so the speedup the hot-path overhaul claims
+/// stays auditable against a fixed reference.
+pub const BASELINE_STEPS_PER_SEC: f64 = 9.56;

@@ -82,6 +82,19 @@ pub trait HaloExchange: Send + Sync {
     /// tensor, returning `a*` with shared rows summed across ranks.
     fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor;
 
+    /// Split-phase variant for strategies that can expose a compute/comm
+    /// overlap window: post every send and receive of the exchange of `a`
+    /// and return the in-flight handle **without waiting**. The caller runs
+    /// independent compute, then [`PendingExchange::finish`]es, which must
+    /// leave `a` exactly as [`HaloExchange::exchange`] would have.
+    ///
+    /// The default (`None`) marks a strategy whose schedule cannot be
+    /// split; callers fall back to the blocking [`HaloExchange::exchange`].
+    fn begin(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Option<PendingExchange> {
+        let _ = (a, graph, comm);
+        None
+    }
+
     /// Predicted per-rank traffic of one exchange of a `cols`-wide tensor —
     /// the accounting the weak-scaling model prices. The default is the
     /// neighbour-exact volume (what a perfect implementation would ship).
@@ -281,6 +294,33 @@ fn accumulate_halos<'a>(
     }
 }
 
+/// An in-flight halo exchange: every isend/irecv posted, none completed.
+///
+/// Between construction ([`HaloExchange::begin`]) and
+/// [`PendingExchange::finish`] lies the **overlap window** — the stretch
+/// where the NMP layer runs the interior-node MLP while halos travel (the
+/// restructuring ROADMAP item #1 called for). `finish` completes receives
+/// in posted neighbour order, so the accumulation order — and therefore
+/// every bit of the result — matches the blocking Send-Recv schedule.
+pub struct PendingExchange {
+    sends: Vec<SendRequest>,
+    recvs: Vec<RecvRequest>,
+}
+
+impl PendingExchange {
+    /// Wait for all receives (in posted neighbour order), accumulate them
+    /// into the shared rows of `out` (Eq. 4d), and drain the send handles.
+    /// Interior rows of `out` are untouched.
+    pub fn finish(self, out: &mut Tensor, graph: &LocalGraph) {
+        let cols = out.cols();
+        let recvs: Vec<Vec<f64>> = self.recvs.into_iter().map(RecvRequest::wait).collect();
+        for send in self.sends {
+            send.wait();
+        }
+        accumulate_halos(out, graph, cols, |ni, _| recvs[ni].as_slice());
+    }
+}
+
 /// The inconsistent baseline: no synchronization at all ("standard NMP").
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoExchange;
@@ -441,13 +481,13 @@ impl HaloExchange for SendRecvExchange {
 ///
 /// Every neighbour send is posted (`isend`) before anything waits, and
 /// every receive is posted (`irecv`) before any completion; only then are
-/// the receives waited, in neighbour order. On a GPU pipeline the window
-/// between posting and waiting is where the previous layer's node MLP runs
-/// while halos are in flight — here the window is empty (the in-process
-/// transports are buffered), but the *schedule* is the overlapped one, so
-/// the perf model can price the hidden fraction
+/// the receives waited, in neighbour order. The split-phase
+/// [`HaloExchange::begin`] / [`PendingExchange::finish`] form exposes the
+/// window between posting and waiting to the NMP layer, which fills it
+/// with the **interior-node MLP** (see `mp_layer`): real compute executes
+/// while halos are in flight. The perf model prices the hidden fraction
 /// (`cgnn-perf::overlapped_neighbor_time`, driven by the machine model's
-/// overlap fraction).
+/// overlap fraction), and the `hotpath` bench measures it.
 ///
 /// Completing receives in posted neighbour order (not arrival order) keeps
 /// the accumulation order fixed, making this strategy bit-identical to
@@ -465,7 +505,15 @@ impl HaloExchange for OverlappedNeighborExchange {
     }
 
     fn exchange(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Tensor {
+        // Blocking form = split form with an empty overlap window.
         let mut out = a.clone();
+        self.begin(a, graph, comm)
+            .expect("overlapped strategy always splits")
+            .finish(&mut out, graph);
+        out
+    }
+
+    fn begin(&self, a: &Tensor, graph: &LocalGraph, comm: &Comm) -> Option<PendingExchange> {
         let cols = a.cols();
         // Phase 1: post every send without blocking.
         let sends: Vec<SendRequest> = graph
@@ -480,20 +528,14 @@ impl HaloExchange for OverlappedNeighborExchange {
             })
             .collect();
         // Phase 2: post every receive before waiting on any of them.
-        let posted: Vec<RecvRequest> = graph
+        let recvs: Vec<RecvRequest> = graph
             .halo
             .neighbors
             .iter()
             .map(|&s| comm.irecv(s, HALO_TAG))
             .collect();
-        // <- overlap window: independent compute would run here.
-        // Phase 3: complete in neighbour order (fixed accumulation order).
-        let recvs: Vec<Vec<f64>> = posted.into_iter().map(RecvRequest::wait).collect();
-        for send in sends {
-            send.wait();
-        }
-        accumulate_halos(&mut out, graph, cols, |ni, _| recvs[ni].as_slice());
-        out
+        // <- the overlap window is open until `finish` is called.
+        Some(PendingExchange { sends, recvs })
     }
 }
 

@@ -38,15 +38,79 @@ pub struct GraphIndices {
 }
 
 impl GraphIndices {
-    /// Extract (and reference-count) the index buffers of `g`.
+    /// Share the index buffers of `g`. The buffers live `Arc`-shared on
+    /// [`LocalGraph`] itself, so this is a handful of reference-count bumps
+    /// — every message-passing layer (and every training step) reuses the
+    /// same allocations.
     pub fn from_graph(g: &LocalGraph) -> Self {
         GraphIndices {
-            src: Arc::new(g.edge_src.clone()),
-            dst: Arc::new(g.edge_dst.clone()),
-            edge_inv_degree: Arc::new(g.edge_inv_degree.clone()),
-            node_inv_degree: Arc::new(g.node_inv_degree.clone()),
+            src: Arc::clone(&g.edge_src),
+            dst: Arc::clone(&g.edge_dst),
+            edge_inv_degree: Arc::clone(&g.edge_inv_degree),
+            node_inv_degree: Arc::clone(&g.node_inv_degree),
             n_local: g.n_local(),
         }
+    }
+}
+
+/// Cumulative per-thread (= per-rank) timers of the overlapped forward:
+/// how long the interior-node MLP ran inside the post→wait window, and how
+/// long the completion wait took afterwards. The `hotpath` bench derives
+/// the *exchange-hidden fraction* `window / (window + wait)` from these.
+pub mod overlap_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static WINDOW_NS: Cell<u64> = const { Cell::new(0) };
+        static WAIT_NS: Cell<u64> = const { Cell::new(0) };
+        static WINDOWS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// One rank's accumulated overlap timing.
+    #[derive(Debug, Clone, Copy, Default, PartialEq)]
+    pub struct OverlapWindow {
+        /// Nanoseconds of interior-node compute executed inside open
+        /// post→wait windows.
+        pub window_ns: u64,
+        /// Nanoseconds spent completing receives after the window closed.
+        pub wait_ns: u64,
+        /// Number of overlap windows opened.
+        pub windows: u64,
+    }
+
+    impl OverlapWindow {
+        /// Fraction of the exchange latency hidden behind compute:
+        /// `window / (window + wait)`; zero when no window ever opened.
+        pub fn hidden_fraction(&self) -> f64 {
+            let total = self.window_ns + self.wait_ns;
+            if total == 0 {
+                0.0
+            } else {
+                self.window_ns as f64 / total as f64
+            }
+        }
+    }
+
+    /// Zero this thread's counters.
+    pub fn reset() {
+        WINDOW_NS.with(|c| c.set(0));
+        WAIT_NS.with(|c| c.set(0));
+        WINDOWS.with(|c| c.set(0));
+    }
+
+    /// Snapshot this thread's counters.
+    pub fn snapshot() -> OverlapWindow {
+        OverlapWindow {
+            window_ns: WINDOW_NS.with(Cell::get),
+            wait_ns: WAIT_NS.with(Cell::get),
+            windows: WINDOWS.with(Cell::get),
+        }
+    }
+
+    pub(crate) fn record(window_ns: u64, wait_ns: u64) {
+        WINDOW_NS.with(|c| c.set(c.get() + window_ns));
+        WAIT_NS.with(|c| c.set(c.get() + wait_ns));
+        WINDOWS.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -70,13 +134,16 @@ impl CustomOp for HaloSyncOp {
     }
 }
 
-/// Record the halo sync on the tape (performs the forward exchange).
-pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloContext) -> VarId {
-    if !ctx.is_consistent() || ctx.comm.size() == 1 {
-        // Identity; nothing to record.
-        return a;
-    }
-    let value = halo_exchange_apply(tape.value(a), graph, ctx);
+/// Record a halo-sync node with an already-computed `a*` value — shared by
+/// the blocking and the overlapped (split-phase) schedules, so both paths
+/// always record the identical gradient graph.
+fn record_halo_sync(
+    tape: &mut Tape,
+    a: VarId,
+    value: Tensor,
+    graph: &Arc<LocalGraph>,
+    ctx: &HaloContext,
+) -> VarId {
     tape.custom(
         vec![a],
         value,
@@ -85,6 +152,16 @@ pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloC
             ctx: ctx.clone(),
         }),
     )
+}
+
+/// Record the halo sync on the tape (performs the forward exchange).
+pub fn halo_sync(tape: &mut Tape, a: VarId, graph: &Arc<LocalGraph>, ctx: &HaloContext) -> VarId {
+    if !ctx.is_consistent() || ctx.comm.size() == 1 {
+        // Identity; nothing to record.
+        return a;
+    }
+    let value = halo_exchange_apply(tape.value(a), graph, ctx);
+    record_halo_sync(tape, a, value, graph, ctx)
 }
 
 /// One consistent neural message passing layer.
@@ -132,6 +209,15 @@ impl ConsistentMpLayer {
     }
 
     /// Forward pass; returns `(x_new, e_new)`.
+    ///
+    /// When the exchange strategy supports split-phase posting
+    /// ([`crate::exchange::HaloExchange::begin`], i.e. `Ovl-SR`), stages
+    /// (3)–(5) are restructured for **true compute/communication overlap**:
+    /// the node MLP of the *interior* rows (which the exchange cannot
+    /// touch) executes between posting the isends/irecvs and waiting on
+    /// them, and only the *boundary* rows wait for the halos. Every kernel
+    /// involved is row-local, so the reassembled output is bit-identical
+    /// to the blocking Send-Recv schedule.
     #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
@@ -143,10 +229,13 @@ impl ConsistentMpLayer {
         idx: &GraphIndices,
         ctx: &HaloContext,
     ) -> (VarId, VarId) {
-        // (1) Edge update with residual (Eq. 4a).
-        let xi = tape.gather_rows(x, idx.src.clone());
-        let xj = tape.gather_rows(x, idx.dst.clone());
-        let cat = tape.concat_cols(&[xi, xj, e]);
+        // (1) Edge update with residual (Eq. 4a); the gather→concat
+        // prologue `[x_i | x_j | e]` is one fused kernel.
+        let cat = tape.gather_concat(&[
+            (x, Some(idx.src.clone())),
+            (x, Some(idx.dst.clone())),
+            (e, None),
+        ]);
         let e_upd = self.edge_mlp.forward(tape, bound, cat);
         let e_new = tape.add(e_upd, e);
 
@@ -154,14 +243,75 @@ impl ConsistentMpLayer {
         let scaled = tape.row_scale(e_new, idx.edge_inv_degree.clone());
         let a = tape.scatter_add_rows(scaled, idx.dst.clone(), idx.n_local);
 
-        // (3)+(4) Halo swap + synchronization (Eqs. 4c-4d).
-        let a_star = halo_sync(tape, a, graph, ctx);
-
-        // (5) Node update with residual (Eq. 4e).
-        let cat = tape.concat_cols(&[a_star, x]);
-        let x_upd = self.node_mlp.forward(tape, bound, cat);
+        // (3)+(4)+(5): halo swap, synchronization, node update.
+        let x_upd = self.node_update(tape, bound, x, a, graph, ctx);
         let x_new = tape.add(x_upd, x);
         (x_new, e_new)
+    }
+
+    /// Stages (3)–(5): exchange the aggregates and run the node MLP,
+    /// overlapping interior compute with the exchange when the strategy
+    /// exposes a split-phase window.
+    fn node_update(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundParams,
+        x: VarId,
+        a: VarId,
+        graph: &Arc<LocalGraph>,
+        ctx: &HaloContext,
+    ) -> VarId {
+        let exchanging = ctx.is_consistent() && ctx.comm.size() > 1;
+        if exchanging {
+            if let Some(pending) = ctx.strategy().begin(tape.value(a), graph, &ctx.comm) {
+                return self.overlapped_node_update(tape, bound, x, a, graph, ctx, pending);
+            }
+        }
+        // Blocking path: full exchange, then the node MLP on all rows.
+        let a_star = halo_sync(tape, a, graph, ctx);
+        let cat = tape.gather_concat(&[(a_star, None), (x, None)]);
+        self.node_mlp.forward(tape, bound, cat)
+    }
+
+    /// The overlapped schedule: isends/irecvs are already posted. The
+    /// node-MLP chain is recorded **monolithically** under a tape row mask:
+    /// interior rows (which the exchange cannot touch) are computed inside
+    /// the post→wait window, boundary rows are backfilled after the halos
+    /// arrive. The recorded ops, their final values, and therefore the
+    /// entire backward pass are bit-identical to the blocking Send-Recv
+    /// schedule — only the execution order differs.
+    #[allow(clippy::too_many_arguments)]
+    fn overlapped_node_update(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundParams,
+        x: VarId,
+        a: VarId,
+        graph: &Arc<LocalGraph>,
+        ctx: &HaloContext,
+        pending: crate::exchange::PendingExchange,
+    ) -> VarId {
+        // Record the differentiable sync node now; its interior rows are
+        // already final (the exchange only adds into boundary rows), the
+        // boundary rows complete when the window closes.
+        let a_star_val = tape.value_copy(a);
+        let a_star = record_halo_sync(tape, a, a_star_val, graph, ctx);
+
+        // --- Overlap window: interior-node MLP while halos are in flight.
+        let t_window = std::time::Instant::now();
+        tape.begin_row_mask(Arc::clone(&graph.interior_rows));
+        let cat = tape.gather_concat(&[(a_star, None), (x, None)]);
+        let x_upd = self.node_mlp.forward(tape, bound, cat);
+        let window_ns = t_window.elapsed().as_nanos() as u64;
+
+        // --- Close the window: wait + accumulate halos (Eq. 4d) into the
+        // sync node's boundary rows, then backfill those rows through the
+        // recorded chain.
+        let t_wait = std::time::Instant::now();
+        pending.finish(tape.value_mut(a_star), graph);
+        overlap_stats::record(window_ns, t_wait.elapsed().as_nanos() as u64);
+        tape.end_row_mask(&graph.boundary_rows);
+        x_upd
     }
 
     /// Total trainable scalars in this layer's two MLPs.

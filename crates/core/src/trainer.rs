@@ -73,6 +73,13 @@ pub struct Trainer {
     pub opt: Adam,
     /// The halo-exchange context wiring this rank's consistency.
     pub ctx: HaloContext,
+    /// Reusable autodiff workspace: reset (not dropped) between forward
+    /// passes so steady-state steps draw recycled buffers instead of
+    /// allocating — fresh multi-megabyte `Vec`s cost real page faults
+    /// every pass. Replays are bit-identical to fresh tapes. `RefCell`
+    /// because evaluation entry points take `&self`; each rank owns its
+    /// trainer, so the borrow is never contended.
+    tape: std::cell::RefCell<Tape>,
 }
 
 impl Trainer {
@@ -85,6 +92,7 @@ impl Trainer {
             params,
             opt: Adam::new(lr),
             ctx,
+            tape: std::cell::RefCell::new(Tape::new()),
         }
     }
 
@@ -117,8 +125,8 @@ impl Trainer {
     /// returning the loss variable. Shared by evaluation, single-sample
     /// steps, and mini-batch accumulation.
     fn loss_graph(&self, tape: &mut Tape, bound: &BoundParams, data: &RankData) -> VarId {
-        let x = tape.leaf(data.x.clone());
-        let e = tape.leaf(data.e.clone());
+        let x = tape.leaf_copy(&data.x);
+        let e = tape.leaf_copy(&data.e);
         let y = self
             .model
             .forward(tape, bound, x, e, &data.graph, &data.idx, &self.ctx);
@@ -134,7 +142,8 @@ impl Trainer {
 
     /// Forward pass + consistent loss, no parameter update. Collective.
     pub fn eval_loss(&self, data: &RankData) -> f64 {
-        let mut tape = Tape::new();
+        let mut tape = self.tape.borrow_mut();
+        tape.reset();
         let bound = self.params.bind(&mut tape);
         let l = self.loss_graph(&mut tape, &bound, data);
         tape.value(l).item()
@@ -142,10 +151,11 @@ impl Trainer {
 
     /// Inference: forward pass returning the prediction matrix.
     pub fn predict(&self, data: &RankData) -> Tensor {
-        let mut tape = Tape::new();
+        let mut tape = self.tape.borrow_mut();
+        tape.reset();
         let bound = self.params.bind(&mut tape);
-        let x = tape.leaf(data.x.clone());
-        let e = tape.leaf(data.e.clone());
+        let x = tape.leaf_copy(&data.x);
+        let e = tape.leaf_copy(&data.e);
         let y = self
             .model
             .forward(&mut tape, &bound, x, e, &data.graph, &data.idx, &self.ctx);
@@ -169,13 +179,18 @@ impl Trainer {
         assert!(!batch.is_empty(), "empty mini-batch");
         let mut loss_sum = 0.0;
         let mut flat_sum: Vec<f64> = Vec::new();
+        // Reuse one tape (and its buffer pool) across the whole batch — and,
+        // because the trainer owns it, across every step of the run.
+        let tape_cell = std::mem::take(&mut self.tape);
+        let mut tape = tape_cell.into_inner();
         for data in batch {
-            let mut tape = Tape::new();
+            tape.reset();
             let bound = self.params.bind(&mut tape);
             let l = self.loss_graph(&mut tape, &bound, data);
             loss_sum += tape.value(l).item();
             let grads = tape.backward(l);
             let flat = flatten_local_gradients(&self.params, &bound, &grads);
+            tape.recycle(grads);
             if flat_sum.is_empty() {
                 flat_sum = flat;
             } else {
@@ -184,6 +199,7 @@ impl Trainer {
                 }
             }
         }
+        self.tape = std::cell::RefCell::new(tape);
         if batch.len() > 1 {
             let inv = 1.0 / batch.len() as f64;
             for v in &mut flat_sum {

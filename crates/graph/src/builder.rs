@@ -7,12 +7,13 @@
 //! exchange plan from coincident global ids shared with other ranks.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cgnn_mesh::BoxMesh;
 use cgnn_partition::Partition;
 use rayon::prelude::*;
 
-use crate::local_graph::{HaloPlan, LocalGraph};
+use crate::local_graph::{split_interior_boundary, HaloPlan, LocalGraph};
 
 /// Build the reduced distributed graph for every rank of `partition`.
 ///
@@ -171,16 +172,19 @@ fn build_rank_graph(
         .map(|s| shared_per_rank.remove(s).expect("key present"))
         .collect();
 
+    let (interior_rows, boundary_rows) = split_interior_boundary(gids.len(), &send_ids);
     let g = LocalGraph {
         rank,
         n_ranks: partition.n_ranks(),
         gids,
         pos,
-        edge_src,
-        edge_dst,
+        edge_src: Arc::new(edge_src),
+        edge_dst: Arc::new(edge_dst),
         edge_disp,
-        edge_inv_degree,
-        node_inv_degree,
+        edge_inv_degree: Arc::new(edge_inv_degree),
+        node_inv_degree: Arc::new(node_inv_degree),
+        interior_rows: Arc::new(interior_rows),
+        boundary_rows: Arc::new(boundary_rows),
         halo: HaloPlan {
             neighbors,
             send_ids,

@@ -5,6 +5,8 @@
 //! `1/d_ij`), and a [`HaloPlan`] describes which aggregate rows must be
 //! swapped with which neighbouring ranks (paper Fig. 4).
 
+use std::sync::Arc;
+
 /// Communication plan for the halo exchanges of one rank.
 ///
 /// For each neighbour `s`, the shared global ids are listed in ascending gid
@@ -46,18 +48,29 @@ pub struct LocalGraph {
     /// Canonical physical positions per local node.
     pub pos: Vec<[f64; 3]>,
     /// Directed edge endpoints (local indices). Both directions of every
-    /// undirected link are present.
-    pub edge_src: Vec<usize>,
-    pub edge_dst: Vec<usize>,
+    /// undirected link are present. Reference-counted so every
+    /// message-passing layer (and every training step) shares the same
+    /// index buffer instead of deep-cloning it.
+    pub edge_src: Arc<Vec<usize>>,
+    /// Destination endpoints, shared like [`LocalGraph::edge_src`].
+    pub edge_dst: Arc<Vec<usize>>,
     /// Physical displacement `pos[dst] - pos[src]` per directed edge,
     /// measured inside the generating element (periodic-safe).
     pub edge_disp: Vec<[f64; 3]>,
     /// `1/d_ij` per directed edge: inverse of the number of ranks whose
-    /// local graphs contain this edge (paper Eq. 4b).
-    pub edge_inv_degree: Vec<f64>,
+    /// local graphs contain this edge (paper Eq. 4b). Arc-shared across
+    /// layers.
+    pub edge_inv_degree: Arc<Vec<f64>>,
     /// `1/d_i` per local node: inverse of the number of ranks owning a
-    /// coincident copy (paper Eq. 6b).
-    pub node_inv_degree: Vec<f64>,
+    /// coincident copy (paper Eq. 6b). Arc-shared across layers.
+    pub node_inv_degree: Arc<Vec<f64>>,
+    /// Local rows *not* shared with any other rank, ascending — the rows
+    /// whose node update can run while halo aggregates are in flight.
+    pub interior_rows: Arc<Vec<usize>>,
+    /// Local rows shared with at least one other rank (the union of the
+    /// halo send lists), ascending. Together with
+    /// [`LocalGraph::interior_rows`] this partitions `0..n_local`.
+    pub boundary_rows: Arc<Vec<usize>>,
     /// Halo exchange plan.
     pub halo: HaloPlan,
 }
@@ -101,7 +114,7 @@ impl LocalGraph {
             self.gids.windows(2).all(|w| w[0] < w[1]),
             "gids must be strictly ascending"
         );
-        for (&s, &d) in self.edge_src.iter().zip(&self.edge_dst) {
+        for (&s, &d) in self.edge_src.iter().zip(self.edge_dst.iter()) {
             assert!(s < n && d < n, "edge endpoint out of range");
             assert_ne!(s, d, "self-loop");
         }
@@ -121,5 +134,46 @@ impl LocalGraph {
                 assert!(self.is_shared(i), "halo send id {i} is not a shared node");
             }
         }
+        assert_eq!(
+            self.interior_rows.len() + self.boundary_rows.len(),
+            n,
+            "interior/boundary rows must partition the local rows"
+        );
+        let mut seen = vec![false; n];
+        for &r in self.interior_rows.iter().chain(self.boundary_rows.iter()) {
+            assert!(r < n && !seen[r], "row {r} out of range or duplicated");
+            seen[r] = true;
+        }
+        for &r in self.boundary_rows.iter() {
+            assert!(
+                self.halo.send_ids.iter().any(|ids| ids.contains(&r)),
+                "boundary row {r} is in no halo send list"
+            );
+        }
     }
+}
+
+/// Split `0..n_local` into (interior, boundary) rows given the halo send
+/// lists: boundary rows appear in at least one list, interior rows in none.
+/// Both outputs are ascending.
+pub fn split_interior_boundary(
+    n_local: usize,
+    send_ids: &[Vec<usize>],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut is_boundary = vec![false; n_local];
+    for ids in send_ids {
+        for &i in ids {
+            is_boundary[i] = true;
+        }
+    }
+    let mut interior = Vec::with_capacity(n_local);
+    let mut boundary = Vec::new();
+    for (i, &b) in is_boundary.iter().enumerate() {
+        if b {
+            boundary.push(i);
+        } else {
+            interior.push(i);
+        }
+    }
+    (interior, boundary)
 }

@@ -72,8 +72,10 @@ impl ParamSet {
     }
 
     /// Register every parameter on `tape` as a leaf; returns the binding.
+    /// Parameter values are copied into the tape's recycled buffers, so
+    /// re-binding on a [`Tape::reset`] tape allocates nothing.
     pub fn bind(&self, tape: &mut Tape) -> BoundParams {
-        let ids = self.tensors.iter().map(|t| tape.leaf(t.clone())).collect();
+        let ids = self.tensors.iter().map(|t| tape.leaf_copy(t)).collect();
         BoundParams { ids }
     }
 
@@ -141,8 +143,7 @@ impl Linear {
     }
 
     pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
-        let wx = tape.matmul(x, bound.var(self.w));
-        tape.add_row(wx, bound.var(self.b))
+        tape.linear(x, bound.var(self.w), bound.var(self.b))
     }
 
     pub fn num_scalars(&self) -> usize {
@@ -233,6 +234,11 @@ impl Mlp {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
+            if i != last && self.activation == Activation::Elu {
+                // Hidden ELU layers run as the fused linear+ELU kernel.
+                h = tape.linear_elu(h, bound.var(layer.w), bound.var(layer.b));
+                continue;
+            }
             h = layer.forward(tape, bound, h);
             if i != last {
                 h = match self.activation {

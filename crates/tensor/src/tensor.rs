@@ -4,8 +4,17 @@
 //! matrices `[N, F]`, edge attribute matrices `[E, F]`, weight matrices
 //! `[in, out]`, and `[1, 1]` scalars. A single concrete 2-D type keeps the
 //! autodiff tape simple and the hot loops free of shape-polymorphism.
+//!
+//! The dominant kernels come in two forms: an allocating convenience
+//! (`matmul`, `gather_rows`, ...) and a `*_into` variant writing into a
+//! caller-provided tensor, which is what the [`crate::Tape`] workspace uses
+//! to recycle buffers across training steps. All `*_into` kernels
+//! parallelize over row chunks with the determinism rules of `par.rs`:
+//! the result is bit-identical to the serial path at any worker count.
 
 use std::fmt;
+
+use crate::par::for_row_chunks;
 
 /// A dense, row-major, heap-allocated `f64` matrix.
 #[derive(Clone, PartialEq)]
@@ -55,6 +64,31 @@ impl Tensor {
             cols
         );
         Tensor { data, rows, cols }
+    }
+
+    /// Reshape a recycled buffer into a `rows x cols` tensor **without**
+    /// clearing it: entries carry stale values from the buffer's previous
+    /// life, so the caller must overwrite every element. The buffer's
+    /// capacity is reused; it only reallocates when it grew too small.
+    pub(crate) fn from_pool_uninit(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        let len = rows * cols;
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        Tensor {
+            data: buf,
+            rows,
+            cols,
+        }
+    }
+
+    /// Reshape a recycled buffer into a zero-filled `rows x cols` tensor.
+    pub(crate) fn from_pool_zeroed(rows: usize, cols: usize, buf: Vec<f64>) -> Self {
+        let mut t = Self::from_pool_uninit(rows, cols, buf);
+        t.data.fill(0.0);
+        t
     }
 
     /// 1x1 scalar tensor.
@@ -171,6 +205,12 @@ impl Tensor {
         out
     }
 
+    /// Overwrite `out` with a copy of `self` (shapes must already match).
+    pub fn copy_into(&self, out: &mut Tensor) {
+        assert_eq!(self.shape(), out.shape(), "copy_into shape mismatch");
+        out.data.copy_from_slice(&self.data);
+    }
+
     /// Elementwise sum of all entries.
     pub fn sum(&self) -> f64 {
         self.data.iter().sum()
@@ -187,102 +227,170 @@ impl Tensor {
     }
 
     /// Matrix product `self * rhs` (`[m,k] x [k,n] -> [m,n]`).
-    ///
-    /// Plain ikj loop: the inner dimension stays cache-resident and the
-    /// compiler auto-vectorizes the row updates. Matrix sizes in this code
-    /// base are tall-skinny (`N x F` with small `F`), where this ordering is
-    /// near-optimal without blocking.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::from_pool_uninit(self.rows, rhs.cols, Vec::new());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into `out` (must be `[m, n]`).
+    ///
+    /// Register-blocked microkernel: output tiles of up to `4 x 8` are
+    /// accumulated in stack registers across the whole inner dimension,
+    /// then stored once — the matrices here are tall-skinny (`N x F` with
+    /// small `F`), so the tile accumulators give the FMA units independent
+    /// chains while each output element still sums its `k` terms in the
+    /// serial order (bit-identical at any chunking or worker count). Rows
+    /// are chunk-parallel per `par.rs`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul inner dims: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor {
-            data: out,
-            rows: m,
-            cols: n,
-        }
+        assert_eq!(out.shape(), (m, n), "matmul_into output shape");
+        let a_data = &self.data;
+        let b_data = &rhs.data;
+        for_row_chunks(&mut out.data, n, |first_row, nrows, chunk| {
+            gemm_rows(a_data, b_data, chunk, first_row, nrows, k, n, None, false);
+        });
     }
 
     /// `self * rhs^T` (`[m,k] x [n,k] -> [m,n]`), without materializing the
     /// transpose. Used by matmul backward: `dA = dC * B^T`.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::from_pool_uninit(self.rows, rhs.rows, Vec::new());
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into `out` (must be `[m, n]`).
+    ///
+    /// Each output element is a length-`k` dot product accumulated in the
+    /// serial order; four dots run as independent chains per iteration so
+    /// the FMA pipeline stays full without reassociating any sum.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt inner dims: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        assert_eq!(out.shape(), (m, n), "matmul_nt_into output shape");
+        let a_data = &self.data;
+        let b_data = &rhs.data;
+        for_row_chunks(&mut out.data, n, |first_row, nrows, chunk| {
+            for i in 0..nrows {
+                let a_row = &a_data[(first_row + i) * k..(first_row + i + 1) * k];
+                let o_row = &mut chunk[i * n..(i + 1) * n];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let b0 = &b_data[j * k..(j + 1) * k];
+                    let b1 = &b_data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &b_data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &b_data[(j + 3) * k..(j + 4) * k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for (p, &a) in a_row.iter().enumerate() {
+                        s0 += a * b0[p];
+                        s1 += a * b1[p];
+                        s2 += a * b2[p];
+                        s3 += a * b3[p];
+                    }
+                    o_row[j] = s0;
+                    o_row[j + 1] = s1;
+                    o_row[j + 2] = s2;
+                    o_row[j + 3] = s3;
+                    j += 4;
                 }
-                *o = acc;
+                for (jj, o) in o_row.iter_mut().enumerate().skip(j) {
+                    let b_row = &b_data[jj * k..(jj + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
             }
-        }
-        Tensor {
-            data: out,
-            rows: m,
-            cols: n,
-        }
+        });
     }
 
     /// `self^T * rhs` (`[k,m]^T x [k,n] -> [m,n]`), without materializing the
     /// transpose. Used by matmul backward: `dB = A^T * dC`.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::from_pool_uninit(self.cols, rhs.cols, Vec::new());
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into `out` (must be `[m, n]`).
+    ///
+    /// The reduction runs over the shared `k` rows (`k` is the tall
+    /// dimension here). Output tiles of up to `4 x 8` stay in registers
+    /// across the **entire** `k` loop, so the huge operands stream through
+    /// once per tile column-band while each output element still sums its
+    /// `k` terms in the serial order — per-chunk (and per-tile) sequential
+    /// accumulation, no atomics.
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn inner dims: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![0.0; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+        assert_eq!(out.shape(), (m, n), "matmul_tn_into output shape");
+        let a_data = &self.data;
+        let b_data = &rhs.data;
+        for_row_chunks(&mut out.data, n, |first_row, nrows, chunk| {
+            if k == 0 {
+                chunk.fill(0.0);
+                return;
             }
-        }
-        Tensor {
-            data: out,
-            rows: m,
-            cols: n,
-        }
+            let mut i0 = 0;
+            while i0 + 4 <= nrows {
+                let mut j0 = 0;
+                while j0 + 8 <= n {
+                    gemm_tn_tile_4x8(a_data, b_data, chunk, first_row, i0, j0, k, m, n);
+                    j0 += 8;
+                }
+                while j0 < n {
+                    for r in 0..4 {
+                        gemm_tn_elem(a_data, b_data, chunk, first_row, i0 + r, j0, k, m, n);
+                    }
+                    j0 += 1;
+                }
+                i0 += 4;
+            }
+            while i0 < nrows {
+                for j0 in 0..n {
+                    gemm_tn_elem(a_data, b_data, chunk, first_row, i0, j0, k, m, n);
+                }
+                i0 += 1;
+            }
+        });
     }
 
-    /// Explicit transpose (rarely needed; backward passes use the fused
-    /// `matmul_nt`/`matmul_tn` variants instead).
+    /// Explicit transpose. The backward pass materializes transposes of the
+    /// *small* weight matrices (cheap) so the adjoint products run through
+    /// the register-tiled [`Tensor::matmul_into`] kernel.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::transpose`] writing into `out` (must be `[cols, rows]`).
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into output shape"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Concatenate tensors along columns; all must have the same row count.
@@ -293,58 +401,138 @@ impl Tensor {
             assert_eq!(p.rows, rows, "concat_cols row mismatch");
         }
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Tensor::zeros(rows, cols);
-        for r in 0..rows {
-            let o_row = out.row_mut(r);
-            let mut off = 0;
-            for p in parts {
-                o_row[off..off + p.cols].copy_from_slice(p.row(r));
-                off += p.cols;
+        let mut out = Tensor::from_pool_uninit(rows, cols, Vec::new());
+        for_row_chunks(&mut out.data, cols, |first_row, nrows, chunk| {
+            for i in 0..nrows {
+                let o_row = &mut chunk[i * cols..(i + 1) * cols];
+                let mut off = 0;
+                for p in parts {
+                    o_row[off..off + p.cols].copy_from_slice(p.row(first_row + i));
+                    off += p.cols;
+                }
             }
-        }
+        });
         out
     }
 
     /// Gather rows: `out[i] = self[idx[i]]`.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
-        let mut out = Tensor::zeros(idx.len(), self.cols);
-        for (i, &src) in idx.iter().enumerate() {
-            debug_assert!(
-                src < self.rows,
-                "gather index {src} out of {} rows",
-                self.rows
-            );
-            out.row_mut(i).copy_from_slice(self.row(src));
-        }
+        let mut out = Tensor::from_pool_uninit(idx.len(), self.cols, Vec::new());
+        self.gather_rows_into(idx, &mut out);
         out
+    }
+
+    /// [`Tensor::gather_rows`] writing into `out` (must be `[idx.len(), cols]`).
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "gather_rows_into output shape"
+        );
+        let cols = self.cols;
+        for_row_chunks(&mut out.data, cols, |first_row, nrows, chunk| {
+            for i in 0..nrows {
+                let src = idx[first_row + i];
+                debug_assert!(
+                    src < self.rows,
+                    "gather index {src} out of {} rows",
+                    self.rows
+                );
+                // Element loop, not copy_from_slice: a per-row memcpy call
+                // dominates these narrow (~8-wide) copies.
+                for (o, &v) in chunk[i * cols..(i + 1) * cols]
+                    .iter_mut()
+                    .zip(self.row(src).iter())
+                {
+                    *o = v;
+                }
+            }
+        });
     }
 
     /// Scatter-add rows: `out[idx[i]] += self[i]`, with `out` having
     /// `out_rows` rows.
     pub fn scatter_add_rows(&self, idx: &[usize], out_rows: usize) -> Tensor {
-        assert_eq!(idx.len(), self.rows, "scatter index length mismatch");
-        let mut out = Tensor::zeros(out_rows, self.cols);
-        for (i, &dst) in idx.iter().enumerate() {
-            debug_assert!(dst < out_rows, "scatter index {dst} out of {out_rows} rows");
-            let src = self.row(i);
-            let d = out.row_mut(dst);
-            for (o, &s) in d.iter_mut().zip(src.iter()) {
-                *o += s;
-            }
-        }
+        let mut out = Tensor::from_pool_uninit(out_rows, self.cols, Vec::new());
+        self.scatter_add_rows_into(idx, &mut out);
         out
+    }
+
+    /// [`Tensor::scatter_add_rows`] overwriting `out` (must be
+    /// `[out_rows, cols]`; it is zeroed first, previous contents ignored).
+    ///
+    /// Parallel path: output rows are split into one contiguous range per
+    /// worker; each range scans the input **in order** and accumulates the
+    /// entries addressed to it. Every destination row therefore receives
+    /// its contributions in exactly the serial input order — no atomics —
+    /// which makes the result identical at any worker count.
+    pub fn scatter_add_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        assert_eq!(idx.len(), self.rows, "scatter index length mismatch");
+        assert_eq!(out.cols, self.cols, "scatter_add_rows_into column mismatch");
+        let cols = self.cols;
+        let out_rows = out.rows;
+        // Validate up front so serial and parallel paths fail identically
+        // (the parallel range scan would otherwise silently drop an
+        // out-of-range destination instead of panicking).
+        assert!(
+            idx.iter().all(|&d| d < out_rows),
+            "scatter index out of {out_rows} rows"
+        );
+        let workers = rayon::current_num_threads();
+        if workers <= 1 || out_rows < 2 * workers || cols == 0 {
+            out.data.fill(0.0);
+            for (i, &dst) in idx.iter().enumerate() {
+                let src = self.row(i);
+                let d = &mut out.data[dst * cols..(dst + 1) * cols];
+                for (o, &s) in d.iter_mut().zip(src.iter()) {
+                    *o += s;
+                }
+            }
+            return;
+        }
+        use rayon::ParallelSliceMut;
+        let range_rows = out_rows.div_ceil(workers);
+        let src_data = &self.data;
+        out.data
+            .par_chunks_mut(range_rows * cols)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                chunk.fill(0.0);
+                let lo = ci * range_rows;
+                let hi = lo + chunk.len() / cols;
+                for (i, &dst) in idx.iter().enumerate() {
+                    if dst >= lo && dst < hi {
+                        let src = &src_data[i * cols..(i + 1) * cols];
+                        let d = &mut chunk[(dst - lo) * cols..(dst - lo + 1) * cols];
+                        for (o, &s) in d.iter_mut().zip(src.iter()) {
+                            *o += s;
+                        }
+                    }
+                }
+            });
     }
 
     /// Multiply row `i` by `weights[i]`.
     pub fn row_scale(&self, weights: &[f64]) -> Tensor {
-        assert_eq!(weights.len(), self.rows, "row_scale weight length mismatch");
-        let mut out = self.clone();
-        for (r, &w) in weights.iter().enumerate() {
-            for v in out.row_mut(r) {
-                *v *= w;
-            }
-        }
+        let mut out = Tensor::from_pool_uninit(self.rows, self.cols, Vec::new());
+        self.row_scale_into(weights, &mut out);
         out
+    }
+
+    /// [`Tensor::row_scale`] writing into `out` (must match `self`'s shape).
+    pub fn row_scale_into(&self, weights: &[f64], out: &mut Tensor) {
+        assert_eq!(weights.len(), self.rows, "row_scale weight length mismatch");
+        assert_eq!(self.shape(), out.shape(), "row_scale_into output shape");
+        let cols = self.cols;
+        for_row_chunks(&mut out.data, cols, |first_row, nrows, chunk| {
+            for i in 0..nrows {
+                let w = weights[first_row + i];
+                let src = self.row(first_row + i);
+                for (o, &s) in chunk[i * cols..(i + 1) * cols].iter_mut().zip(src.iter()) {
+                    *o = w * s;
+                }
+            }
+        });
     }
 
     /// Maximum relative difference against another tensor, where the
@@ -356,6 +544,206 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs() / a.abs().max(b.abs()).max(1.0))
             .fold(0.0_f64, f64::max)
+    }
+}
+
+/// Register-blocked row-band GEMM shared by [`Tensor::matmul_into`] and the
+/// tape's fused linear kernel: computes `nrows` rows of `A * B` (rows
+/// `first_row..` of `A`, `[k, n]` `B`) into `chunk`, with accumulator tiles
+/// of up to `4 x 8` initialized to `bias` (or zero) and held in registers
+/// across the whole `k` loop. Every output element accumulates its `k`
+/// terms in the serial order, so tiling never changes a bit.
+/// ELU with alpha = 1, the store-time post-op of the fused linear kernel.
+#[inline(always)]
+pub(crate) fn elu_scalar(x: f64) -> f64 {
+    if x < 0.0 {
+        x.exp() - 1.0
+    } else {
+        x
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_rows(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    first_row: usize,
+    nrows: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f64]>,
+    elu: bool,
+) {
+    if k == 0 {
+        match bias {
+            Some(bias) => {
+                for i in 0..nrows {
+                    chunk[i * n..(i + 1) * n].copy_from_slice(bias);
+                }
+            }
+            None => chunk.fill(0.0),
+        }
+        if elu {
+            for v in chunk[..nrows * n].iter_mut() {
+                *v = elu_scalar(*v);
+            }
+        }
+        return;
+    }
+    let mut i0 = 0;
+    // Full 4-row bands go through the fixed-shape tile kernel (constant
+    // loop bounds keep the accumulators in SIMD registers); the remainder
+    // rows fall back to the generic row loop with identical per-element
+    // arithmetic order.
+    while i0 + 4 <= nrows {
+        let mut j0 = 0;
+        while j0 + 8 <= n {
+            gemm_tile_4x8(a, b, chunk, first_row, i0, j0, k, n, bias, elu);
+            j0 += 8;
+        }
+        if j0 < n {
+            for r in 0..4 {
+                gemm_row_generic(a, b, chunk, first_row, i0 + r, j0, n - j0, k, n, bias, elu);
+            }
+        }
+        i0 += 4;
+    }
+    while i0 < nrows {
+        gemm_row_generic(a, b, chunk, first_row, i0, 0, n, k, n, bias, elu);
+        i0 += 1;
+    }
+}
+
+/// Fixed `4 x 8` register tile of [`gemm_rows`]: accumulates 32 outputs in
+/// registers over the whole `k` loop, each in serial term order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_tile_4x8(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    first_row: usize,
+    i0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f64]>,
+    elu: bool,
+) {
+    let mut acc = [[0.0f64; 8]; 4];
+    if let Some(bias) = bias {
+        let init: &[f64; 8] = bias[j0..j0 + 8].try_into().expect("bias tile");
+        acc.fill(*init);
+    }
+    let a0 = (first_row + i0) * k;
+    for p in 0..k {
+        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8].try_into().expect("b tile");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a_val = a[a0 + r * k + p];
+            for t in 0..8 {
+                acc_row[t] += a_val * b_row[t];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let o = &mut chunk[(i0 + r) * n + j0..(i0 + r) * n + j0 + 8];
+        if elu {
+            for (ov, &av) in o.iter_mut().zip(acc_row.iter()) {
+                *ov = elu_scalar(av);
+            }
+        } else {
+            o.copy_from_slice(acc_row);
+        }
+    }
+}
+
+/// Fixed `4 x 8` register tile of [`Tensor::matmul_tn_into`]: the tile
+/// stays in registers across the whole `k` reduction, each output element
+/// accumulating its terms in the serial `p` order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_tn_tile_4x8(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    first_row: usize,
+    i0: usize,
+    j0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; 8]; 4];
+    let col = first_row + i0;
+    for p in 0..k {
+        let a_col: &[f64; 4] = a[p * m + col..p * m + col + 4].try_into().expect("a tile");
+        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8].try_into().expect("b tile");
+        for (acc_row, &a_val) in acc.iter_mut().zip(a_col.iter()) {
+            for t in 0..8 {
+                acc_row[t] += a_val * b_row[t];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        chunk[(i0 + r) * n + j0..(i0 + r) * n + j0 + 8].copy_from_slice(acc_row);
+    }
+}
+
+/// Scalar edge element of [`Tensor::matmul_tn_into`], same term order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_tn_elem(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    first_row: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut acc = 0.0;
+    for p in 0..k {
+        acc += a[p * m + first_row + i] * b[p * n + j];
+    }
+    chunk[i * n + j] = acc;
+}
+
+/// Generic edge path of [`gemm_rows`]: one output row, columns
+/// `[j0, j0 + width)`, same per-element accumulation order as the tiles.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_row_generic(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    first_row: usize,
+    i: usize,
+    j0: usize,
+    width: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f64]>,
+    elu: bool,
+) {
+    let o_row = &mut chunk[i * n + j0..i * n + j0 + width];
+    match bias {
+        Some(bias) => o_row.copy_from_slice(&bias[j0..j0 + width]),
+        None => o_row.fill(0.0),
+    }
+    let a_row = &a[(first_row + i) * k..(first_row + i + 1) * k];
+    for (p, &a_val) in a_row.iter().enumerate() {
+        let b_row = &b[p * n + j0..p * n + j0 + width];
+        for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+            *o += a_val * bv;
+        }
+    }
+    if elu {
+        for o in o_row.iter_mut() {
+            *o = elu_scalar(*o);
+        }
     }
 }
 
@@ -428,5 +816,26 @@ mod tests {
     #[test]
     fn scalar_item() {
         assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity_and_match() {
+        let a = Tensor::from_fn(37, 5, |r, c| ((r * 5 + c) as f64 * 0.3).sin());
+        let b = Tensor::from_fn(5, 9, |r, c| ((r + 2 * c) as f64 * 0.17).cos());
+        let fresh = a.matmul(&b);
+        let mut out = Tensor::from_pool_uninit(37, 9, vec![7.0; 1000]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn scatter_parallel_matches_serial_order() {
+        let x = Tensor::from_fn(101, 3, |r, c| ((r * 3 + c) as f64 * 0.71).sin());
+        let idx: Vec<usize> = (0..101).map(|i| (i * 13) % 17).collect();
+        let serial = rayon::with_num_threads(1, || x.scatter_add_rows(&idx, 17));
+        for threads in [2, 3, 8] {
+            let par = rayon::with_num_threads(threads, || x.scatter_add_rows(&idx, 17));
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 }

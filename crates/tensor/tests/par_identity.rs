@@ -1,0 +1,120 @@
+//! Serial-vs-parallel bit-identity of the tensor kernels.
+//!
+//! The determinism contract of `crates/tensor/src/par.rs`: every kernel's
+//! result is **bit-identical** at any worker count, because chunk
+//! boundaries are fixed functions of the shape, each output row is written
+//! by exactly one chunk, and reductions accumulate per destination in the
+//! serial input order. These property tests pin the worker count per run
+//! (via the rayon shim's `with_num_threads`) and compare against the
+//! 1-worker path over odd shapes that straddle chunk boundaries.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use cgnn_tensor::{Tape, Tensor};
+
+/// Worker counts to compare against the serial path: an even split, an odd
+/// split (uneven chunk distribution), and more workers than chunks.
+const WORKERS: [usize; 3] = [2, 3, 7];
+
+fn assert_worker_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let serial = rayon::with_num_threads(1, &f);
+    for w in WORKERS {
+        let par = rayon::with_num_threads(w, &f);
+        assert!(par == serial, "parallel ({w} workers) diverged from serial");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `A * B` over shapes that straddle the fixed chunk boundary and the
+    /// 4x8 register-tile edges.
+    #[test]
+    fn matmul_is_worker_invariant(
+        rows in 1usize..200,
+        k in 1usize..17,
+        n in 1usize..19,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_fn(rows, k, |r, c| ((seed + (r * k + c) as u64) as f64 * 0.37).sin());
+        let b = Tensor::from_fn(k, n, |r, c| ((seed + (r * n + c) as u64) as f64 * 0.21).cos());
+        assert_worker_invariant(|| a.matmul(&b).into_vec());
+    }
+
+    /// The fused-transpose adjoint products.
+    #[test]
+    fn matmul_transpose_variants_are_worker_invariant(
+        rows in 1usize..150,
+        k in 1usize..13,
+        n in 1usize..13,
+        seed in 0u64..1000,
+    ) {
+        let g = Tensor::from_fn(rows, k, |r, c| ((seed + (r * k + c) as u64) as f64 * 0.11).sin());
+        let w = Tensor::from_fn(n, k, |r, c| ((seed + (r * k + c) as u64) as f64 * 0.23).cos());
+        assert_worker_invariant(|| g.matmul_nt(&w).into_vec());
+        let x = Tensor::from_fn(rows, n, |r, c| ((seed + (r * n + c) as u64) as f64 * 0.31).sin());
+        assert_worker_invariant(|| g.matmul_tn(&x).into_vec());
+    }
+
+    /// Gather and scatter-add over random index patterns: scatter is the
+    /// kernel whose parallel path reduces — per-destination input order
+    /// must make it exact, not approximately equal.
+    #[test]
+    fn gather_scatter_are_worker_invariant(
+        src_rows in 1usize..60,
+        n_idx in 1usize..300,
+        cols in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::from_fn(src_rows, cols, |r, c| {
+            ((seed + (r * cols + c) as u64) as f64 * 0.17).sin()
+        });
+        let idx: Vec<usize> = (0..n_idx).map(|i| (i * 7 + seed as usize) % src_rows).collect();
+        assert_worker_invariant(|| x.gather_rows(&idx).into_vec());
+        let y = Tensor::from_fn(n_idx, cols, |r, c| {
+            ((seed + (r * cols + c) as u64) as f64 * 0.13).cos()
+        });
+        assert_worker_invariant(|| y.scatter_add_rows(&idx, src_rows).into_vec());
+    }
+
+    /// The tape-level row kernels (fused linear(+ELU), layer norm, ELU) and
+    /// a full forward+backward: gradients must also be worker-invariant.
+    #[test]
+    fn tape_forward_backward_is_worker_invariant(
+        rows in 1usize..150,
+        in_dim in 1usize..10,
+        out_dim in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let xv = Tensor::from_fn(rows, in_dim, |r, c| {
+            ((seed + (r * in_dim + c) as u64) as f64 * 0.19).sin()
+        });
+        let wv = Tensor::from_fn(in_dim, out_dim, |r, c| {
+            ((seed + (r * out_dim + c) as u64) as f64 * 0.29).cos()
+        });
+        let bv = Tensor::from_fn(1, out_dim, |_, c| 0.05 * c as f64 - 0.1);
+        let gv = Tensor::from_fn(1, out_dim, |_, c| 1.0 + 0.01 * c as f64);
+        let bt = Tensor::zeros(1, out_dim);
+        let run = || {
+            let mut tape = Tape::new();
+            let x = tape.leaf(xv.clone());
+            let w = tape.leaf(wv.clone());
+            let b = tape.leaf(bv.clone());
+            let h = tape.linear_elu(x, w, b);
+            let gamma = tape.leaf(gv.clone());
+            let beta = tape.leaf(bt.clone());
+            let h = tape.layer_norm(h, gamma, beta, 1e-5);
+            let h = tape.elu(h);
+            let s = tape.weighted_sq_sum(h, Arc::new(vec![1.0; rows]));
+            let grads = tape.backward(s);
+            (
+                tape.value(h).clone().into_vec(),
+                grads.get(x).unwrap().clone().into_vec(),
+                grads.get(w).unwrap().clone().into_vec(),
+                grads.get(gamma).unwrap().clone().into_vec(),
+            )
+        };
+        assert_worker_invariant(run);
+    }
+}

@@ -1,13 +1,72 @@
-//! Offline stand-in for `rayon`: the `into_par_iter().map(f).collect()`
-//! shape the workspace uses, executed with real data parallelism on
-//! `std::thread::scope`. Items are split into contiguous chunks, one per
-//! available core, and results are reassembled in order, so output ordering
-//! matches rayon's. Vendored because the build environment has no
-//! reachable crates registry; only the adaptor surface the workspace
-//! exercises is implemented.
+//! Offline stand-in for `rayon`: the small adaptor surface this workspace
+//! uses, executed with real data parallelism on `std::thread::scope`.
+//!
+//! Two families are implemented:
+//!
+//! * `into_par_iter().map(f).collect()` — items are split into contiguous
+//!   chunks, one per worker, and results are reassembled in order, so
+//!   output ordering matches rayon's.
+//! * `par_chunks_mut(n)` / `.enumerate().for_each(f)` — the chunked +
+//!   indexed slice adaptors the deterministic tensor kernels are built on:
+//!   disjoint `&mut` chunks of one slice are processed concurrently, and
+//!   the chunk *boundaries* are chosen by the caller (never by the worker
+//!   count), which is what keeps chunk-local arithmetic bit-identical at
+//!   every thread count.
+//!
+//! Worker count resolution (cached): `CGNN_NUM_THREADS`, then
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`. Tests
+//! can pin a count for one closure with [`with_num_threads`], which wins
+//! over the environment on the current thread.
+//!
+//! Vendored because the build environment has no reachable crates registry;
+//! only the adaptor surface the workspace exercises is implemented.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 pub mod prelude {
-    pub use crate::IntoParallelIterator;
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Cached environment-resolved worker count.
+fn env_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        for var in ["CGNN_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(n) = std::env::var(var)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count used by every adaptor on this thread.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_num_threads)
+}
+
+/// Run `f` with the worker count pinned to `n` on the current thread —
+/// the hook the serial-vs-parallel bit-identity tests use to force both
+/// execution paths inside one process regardless of the environment.
+pub fn with_num_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    THREAD_OVERRIDE.with(|cell| {
+        let prev = cell.replace(Some(n.max(1)));
+        let out = f();
+        cell.set(prev);
+        out
+    })
 }
 
 /// Conversion into a "parallel iterator" (shim: an eager item vector).
@@ -79,10 +138,7 @@ where
     F: Fn(T) -> U + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = current_num_threads().min(n.max(1));
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -106,9 +162,96 @@ where
     out
 }
 
+/// Chunked mutable-slice adaptor (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint `&mut` chunks of `chunk_size` elements (the last
+    /// chunk may be shorter). Chunk boundaries are a pure function of the
+    /// arguments — worker count only affects which thread runs which chunk.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of one slice.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index (chunk `i` starts at element
+    /// `i * chunk_size` of the original slice).
+    pub fn enumerate(self) -> ParEnumerateChunksMut<'a, T> {
+        ParEnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Run `f` on every chunk, concurrently.
+    pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Indexed variant of [`ParChunksMut`].
+pub struct ParEnumerateChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParEnumerateChunksMut<'_, T> {
+    /// Run `f` on every `(chunk_index, chunk)`, concurrently. Workers take
+    /// contiguous runs of chunks; because the chunks are disjoint writes,
+    /// scheduling cannot influence the result.
+    pub fn for_each(self, f: impl Fn((usize, &mut [T])) + Sync) {
+        let n = self.chunks.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let per_worker = n.div_ceil(threads);
+        let mut work: Vec<Vec<(usize, &mut [T])>> = Vec::new();
+        let mut current = Vec::with_capacity(per_worker);
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            current.push((i, chunk));
+            if current.len() == per_worker {
+                work.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            work.push(current);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|batch| {
+                    scope.spawn(move || {
+                        for item in batch {
+                            f(item);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rayon-shim worker panicked");
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_num_threads;
 
     #[test]
     fn range_map_collect_preserves_order() {
@@ -121,5 +264,31 @@ mod tests {
     fn vec_collect_identity() {
         let v: Vec<u8> = vec![3, 1, 2].into_par_iter().collect();
         assert_eq!(v, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u64; 103];
+            with_num_threads(threads, || {
+                data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 10 + k) as u64;
+                    }
+                });
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+        }
+    }
+
+    #[test]
+    fn with_num_threads_restores_previous() {
+        let outer = super::current_num_threads();
+        with_num_threads(7, || {
+            assert_eq!(super::current_num_threads(), 7);
+            with_num_threads(2, || assert_eq!(super::current_num_threads(), 2));
+            assert_eq!(super::current_num_threads(), 7);
+        });
+        assert_eq!(super::current_num_threads(), outer);
     }
 }
