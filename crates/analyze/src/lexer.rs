@@ -1,0 +1,373 @@
+//! A minimal Rust lexer: just enough token structure for detlint's rules.
+//!
+//! The lexer understands comments (line, nested block), string/char/byte
+//! literals (including raw strings), lifetimes, identifiers, numbers, and
+//! single-character punctuation. It deliberately does **not** build an
+//! AST: every rule in detlint is expressible over the token stream plus
+//! the lightweight scopes recovered by [`crate::context`]. Comments are
+//! returned out-of-band so rules never see them (doc-comment code
+//! examples cannot trip a rule) while the suppression scanner still can.
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// Token payload kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (cooked or raw); payload is the raw source slice
+    /// between the delimiters, escapes unprocessed.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer part only; `1.5` lexes as `1`, `.`, `5`).
+    Num,
+    /// Any other single character.
+    Punct(char),
+}
+
+/// A comment, returned separately from the token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Text after the `//` / between `/* */`, including doc-comment
+    /// markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lex `src` into (tokens, comments). Invalid input never panics: the
+/// lexer treats anything unrecognized as punctuation and keeps going, so
+/// detlint degrades to fewer findings rather than crashing on exotic
+/// syntax.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    line_has_code: bool,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            line_has_code: false,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+                self.line_has_code = false;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col, false),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line, col);
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            text,
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment {
+            text,
+            line,
+            own_line,
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32, raw: bool) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && !raw {
+                self.bump();
+                if let Some(esc) = self.peek(0) {
+                    text.push('\\');
+                    text.push(esc);
+                    self.bump();
+                }
+                continue;
+            }
+            if c == '"' {
+                self.bump();
+                self.push(Tok::Str(text), line, col);
+                return;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Unterminated string: emit what we have.
+        self.push(Tok::Str(text), line, col);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`. Returns false when the
+    /// leading `r`/`b` is actually an identifier start.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let mut j = 1; // past the r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            j = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(j + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(j + hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..j + hashes + 1 {
+            self.bump();
+        }
+        let mut text = String::new();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    // A raw string ends at `"` followed by `hashes` #s.
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes + 1 {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    text.push('"');
+                    self.bump();
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(Tok::Str(text), line, col);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a` lifetime vs `'a'` char: a lifetime is `'` + ident NOT
+        // followed by a closing `'`.
+        if self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_') {
+            let mut j = 2;
+            while self
+                .peek(j)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                j += 1;
+            }
+            if self.peek(j) != Some('\'') {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.push(Tok::Lifetime, line, col);
+                return;
+            }
+        }
+        // Char literal: consume until the closing quote, honoring escapes.
+        self.bump(); // opening '
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump(); // escaped char
+        } else {
+            self.bump(); // the char
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.push(Tok::Char, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(name), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Num, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let (toks, comments) = lex("let x = 1; // trailing .unwrap()\n/* block */ let y = 2;");
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].own_line);
+        assert!(comments[1].own_line);
+        assert!(toks
+            .iter()
+            .all(|t| !matches!(&t.kind, Tok::Ident(s) if s == "unwrap")));
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_leak_tokens() {
+        let src = "/// let v = map.iter().unwrap();\nfn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let (toks, _) = lex(r##"let s = r#"a "quoted" b"#; let t = "esc \" done";"##);
+        let strs: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0], "a \"quoted\" b");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let (toks, _) = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,338 @@
+//! # cgnn-analyze — "detlint"
+//!
+//! A self-contained static analyzer for this workspace's determinism and
+//! hot-path invariants. It lexes every crate's Rust sources with a
+//! hand-rolled lexer ([`lexer`]), recovers lightweight structure
+//! ([`context`]: test regions, fn spans, suppressions), and runs a
+//! pluggable rule set ([`rules`]) producing rich diagnostics with
+//! file:line:col positions, source snippets, and docs links.
+//!
+//! Rules (see `docs/ANALYSIS.md` for rationale):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `nondet-iteration` | no HashMap/HashSet iteration in lib code |
+//! | `atomic-in-kernel` | tensor kernels stay atomics- and `unsafe`-free |
+//! | `float-reduction-order` | parallel float reductions only in audited kernels |
+//! | `hotpath-alloc` | no ad-hoc allocation in hot modules (use the pool) |
+//! | `unwrap-in-lib` | no `unwrap()`/`panic!` without a documented invariant |
+//! | `env-var-registry` | every env read names a registered knob |
+//! | `lock-discipline` | no lock acquisition-order cycles in cgnn-comm |
+//!
+//! False positives are silenced *per site* with
+//! `// detlint: allow(<rule>, "<reason>")` — the reason is mandatory, so
+//! every suppression documents its own hazard analysis. Malformed
+//! suppressions are themselves diagnostics (`suppression-syntax`).
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use context::{FileContext, FileKind};
+pub use rules::{Config, Finding};
+
+/// A fully rendered diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule name (also the suppression key and docs anchor).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Where the rule is documented.
+    pub docs: String,
+}
+
+impl Diagnostic {
+    /// Render as the human-readable two-line form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    | {}\n    = docs: {}",
+            self.path, self.line, self.col, self.rule, self.message, self.snippet, self.docs
+        )
+    }
+}
+
+/// Result of one analyzer run.
+pub struct Report {
+    /// All diagnostics, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Render the report as a JSON value tree (stable field order).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "files_scanned".into(),
+                Value::Int(self.files_scanned as i64),
+            ),
+            ("count".into(), Value::Int(self.diagnostics.len() as i64)),
+            (
+                "diagnostics".into(),
+                Value::Array(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| {
+                            Value::Object(vec![
+                                ("rule".into(), Value::String(d.rule.clone())),
+                                ("path".into(), Value::String(d.path.clone())),
+                                ("line".into(), Value::Int(d.line as i64)),
+                                ("col".into(), Value::Int(d.col as i64)),
+                                ("snippet".into(), Value::String(d.snippet.clone())),
+                                ("message".into(), Value::String(d.message.clone())),
+                                ("docs".into(), Value::String(d.docs.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "shims", ".git", "fixtures", "results"];
+
+/// Classify a workspace-relative path into a [`FileKind`].
+pub fn classify(rel: &str) -> FileKind {
+    if rel.contains("/tests/") || rel.starts_with("tests/") || rel.contains("/benches/") {
+        FileKind::Test
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        FileKind::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// The analyzer: owns the rule set and configuration.
+pub struct Engine {
+    cfg: Config,
+}
+
+impl Engine {
+    /// Build an engine with the given configuration. The env-var registry
+    /// is loaded lazily from `cfg.registry_files` during
+    /// [`Engine::analyze_workspace`].
+    pub fn new(cfg: Config) -> Self {
+        Engine { cfg }
+    }
+
+    /// Read the env-knob registry file(s) under `root` and record every
+    /// `name: "<VAR>"` field, so `env-var-registry` can cross-check
+    /// literal reads anywhere in the workspace (including crates that
+    /// cannot depend on cgnn-core).
+    fn load_registry(&mut self, root: &Path) {
+        for rel in self.cfg.registry_files.clone() {
+            let Ok(src) = fs::read_to_string(root.join(&rel)) else {
+                continue;
+            };
+            let (tokens, _) = lexer::lex(&src);
+            for i in 0..tokens.len() {
+                if context::is_ident(&tokens[i], "name")
+                    && tokens.get(i + 1).is_some_and(|t| context::is_punct(t, ':'))
+                {
+                    if let Some(lexer::Tok::Str(s)) = tokens.get(i + 2).map(|t| &t.kind) {
+                        self.cfg.registered_env.insert(s.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Analyze one already-loaded file, returning rendered diagnostics
+    /// (suppressions applied). Used by the engine walker and directly by
+    /// the fixture tests.
+    pub fn analyze_source(&self, path: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext::new(path, kind, src);
+        let mut rules = rules::all_rules();
+        let mut findings = Vec::new();
+        for r in rules.iter_mut() {
+            r.check(&ctx, &self.cfg, &mut findings);
+        }
+        for r in rules.iter_mut() {
+            r.finalize(&self.cfg, &mut findings);
+        }
+        let mut out = render(findings, |_| Some(&ctx));
+        out.extend(bad_suppression_diags(&ctx));
+        sort_diags(&mut out);
+        out
+    }
+
+    /// Walk the workspace at `root`, analyze every `.rs` file outside
+    /// `target`/`shims`/fixtures, and return the sorted report.
+    pub fn analyze_workspace(&mut self, root: &Path) -> io::Result<Report> {
+        self.load_registry(root);
+        let mut files = Vec::new();
+        walk(root, &mut files)?;
+        files.sort();
+
+        let mut ctxs: Vec<FileContext> = Vec::with_capacity(files.len());
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = classify(&rel);
+            ctxs.push(FileContext::new(&rel, kind, &src));
+        }
+
+        let mut rules = rules::all_rules();
+        let mut findings = Vec::new();
+        for ctx in &ctxs {
+            for r in rules.iter_mut() {
+                r.check(ctx, &self.cfg, &mut findings);
+            }
+        }
+        for r in rules.iter_mut() {
+            r.finalize(&self.cfg, &mut findings);
+        }
+
+        let mut diagnostics = render(findings, |p| ctxs.iter().find(|c| c.path == p));
+        for ctx in &ctxs {
+            diagnostics.extend(bad_suppression_diags(ctx));
+        }
+        sort_diags(&mut diagnostics);
+        Ok(Report {
+            diagnostics,
+            files_scanned: ctxs.len(),
+        })
+    }
+}
+
+/// Apply suppressions and attach snippets/docs links.
+fn render<'a>(
+    findings: Vec<Finding>,
+    lookup: impl Fn(&str) -> Option<&'a FileContext>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in findings {
+        let Some(ctx) = lookup(&f.path) else { continue };
+        if ctx.suppressed(f.rule, f.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: f.rule.to_string(),
+            path: f.path,
+            line: f.line,
+            col: f.col,
+            snippet: ctx.snippet(f.line),
+            message: f.message,
+            docs: format!("docs/ANALYSIS.md#{}", f.rule),
+        });
+    }
+    out
+}
+
+/// Malformed suppressions become diagnostics themselves (and cannot be
+/// suppressed).
+fn bad_suppression_diags(ctx: &FileContext) -> Vec<Diagnostic> {
+    ctx.bad_suppressions
+        .iter()
+        .map(|b| Diagnostic {
+            rule: "suppression-syntax".into(),
+            path: ctx.path.clone(),
+            line: b.line,
+            col: 1,
+            snippet: ctx.snippet(b.line),
+            message: b.why.to_string(),
+            docs: "docs/ANALYSIS.md#suppressions".into(),
+        })
+        .collect()
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_by_path() {
+        assert_eq!(classify("crates/tensor/src/tape.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/core/tests/consistency.rs"), FileKind::Test);
+        assert_eq!(classify("tests/integration.rs"), FileKind::Test);
+        assert_eq!(classify("examples/tgv_surrogate.rs"), FileKind::Example);
+        assert_eq!(classify("crates/bench/src/bin/hotpath.rs"), FileKind::Bin);
+        assert_eq!(classify("src/main.rs"), FileKind::Bin);
+    }
+
+    #[test]
+    fn suppression_silences_and_bad_suppression_reports() {
+        let engine = Engine::new(Config::default());
+        let src = "\
+// detlint: allow(unwrap-in-lib, \"demo: the value is checked two lines up\")\n\
+fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let diags = engine.analyze_source("demo.rs", FileKind::Lib, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unwrap-in-lib");
+        assert_eq!(diags[0].line, 3);
+
+        let bad = "// detlint: allow(unwrap-in-lib)\nfn f() {}\n";
+        let diags = engine.analyze_source("demo.rs", FileKind::Lib, bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "suppression-syntax");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "unwrap-in-lib".into(),
+                path: "a.rs".into(),
+                line: 3,
+                col: 7,
+                snippet: "x.unwrap()".into(),
+                message: "m".into(),
+                docs: "docs/ANALYSIS.md#unwrap-in-lib".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = serde_json::to_string(&report.to_json()).expect("value tree always serializes");
+        assert!(json.contains("\"files_scanned\":1"));
+        assert!(json.contains("\"rule\":\"unwrap-in-lib\""));
+        assert!(json.contains("\"line\":3"));
+    }
+}

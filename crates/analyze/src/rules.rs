@@ -1,0 +1,751 @@
+//! The detlint rule set.
+//!
+//! Each rule encodes one determinism or hot-path invariant from
+//! `docs/PERFORMANCE.md` / `docs/ANALYSIS.md`. Rules are token-stream
+//! scanners over [`FileContext`] — no type information — so they are
+//! deliberately conservative pattern matchers: false positives are
+//! expected occasionally and must be silenced with a **reasoned**
+//! `// detlint: allow(<rule>, "<why>")` suppression, which doubles as
+//! in-source documentation of the hazard analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::{ident_of, is_ident, is_punct, FileContext, FileKind};
+use crate::lexer::{Tok, Token};
+
+/// Engine configuration: which files play which role, and the env-var
+/// registry contents.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path suffixes of tensor-kernel modules: no atomics/unsafe allowed
+    /// inside, and float reductions over parallel adaptors are allowed
+    /// only here.
+    pub kernel_modules: Vec<String>,
+    /// Path suffixes of hot-path modules where ad-hoc allocation is
+    /// flagged (route through the tape buffer pool instead).
+    pub hot_modules: Vec<String>,
+    /// Path fragments of the crate(s) whose lock acquisition order is
+    /// graphed for cycles.
+    pub lock_modules: Vec<String>,
+    /// Path suffixes of the env-knob registry: the only files allowed to
+    /// read `std::env::var` with a non-literal name.
+    pub registry_files: Vec<String>,
+    /// Environment variable names declared in the registry.
+    pub registered_env: BTreeSet<String>,
+    /// Names exempt from registration (cargo/tooling variables).
+    pub env_allowlist: BTreeSet<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            kernel_modules: vec![
+                "crates/tensor/src/tensor.rs".into(),
+                "crates/tensor/src/par.rs".into(),
+                "crates/tensor/src/nn.rs".into(),
+                "crates/tensor/src/tape.rs".into(),
+            ],
+            hot_modules: vec![
+                "crates/tensor/src/tape.rs".into(),
+                "crates/tensor/src/par.rs".into(),
+                "crates/tensor/src/nn.rs".into(),
+                "crates/core/src/mp_layer.rs".into(),
+            ],
+            lock_modules: vec!["crates/comm/src/".into()],
+            registry_files: vec!["crates/core/src/config.rs".into()],
+            registered_env: BTreeSet::new(),
+            env_allowlist: ["CARGO_MANIFEST_DIR"].map(String::from).into(),
+        }
+    }
+}
+
+impl Config {
+    fn is_kernel(&self, path: &str) -> bool {
+        self.kernel_modules.iter().any(|m| path.ends_with(m))
+    }
+
+    fn is_hot(&self, path: &str) -> bool {
+        self.hot_modules.iter().any(|m| path.ends_with(m))
+    }
+
+    fn is_lock_scoped(&self, path: &str) -> bool {
+        self.lock_modules.iter().any(|m| path.contains(m))
+    }
+
+    fn is_registry(&self, path: &str) -> bool {
+        self.registry_files.iter().any(|m| path.ends_with(m))
+    }
+}
+
+/// One raw finding; the engine attaches snippets/docs and applies
+/// suppressions.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// A detlint rule: scanned per file, finalized once after all files (for
+/// rules that aggregate cross-file state, like the lock graph).
+pub trait Rule {
+    /// The rule's kebab-case name (diagnostic tag + suppression key +
+    /// docs anchor).
+    fn name(&self) -> &'static str;
+    /// Scan one file.
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>);
+    /// Emit whole-workspace findings after every file was scanned.
+    fn finalize(&mut self, _cfg: &Config, _out: &mut Vec<Finding>) {}
+}
+
+/// The full rule set, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondetIteration),
+        Box::new(AtomicInKernel),
+        Box::new(FloatReductionOrder),
+        Box::new(HotpathAlloc),
+        Box::new(UnwrapInLib),
+        Box::new(EnvVarRegistry),
+        Box::new(LockDiscipline::default()),
+    ]
+}
+
+fn finding(rule: &'static str, ctx: &FileContext, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// Walk left from the token at `dot` (a `.`) to the base identifier of
+/// the receiver, skipping balanced `[...]` / `(...)` groups, e.g.
+/// `self.world.slots[self.rank]` → `slots`.
+fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match tokens[k].kind {
+            Tok::Punct(']') | Tok::Punct(')') => {
+                let close = if matches!(tokens[k].kind, Tok::Punct(']')) {
+                    (']', '[')
+                } else {
+                    (')', '(')
+                };
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    match &tokens[k].kind {
+                        Tok::Punct(c) if *c == close.0 => depth += 1,
+                        Tok::Punct(c) if *c == close.1 => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // Continue: the token before the group names the receiver.
+            }
+            Tok::Ident(ref s) => return Some(s.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// Bracket-nesting depth before each token (counting `(`, `[`, `{`).
+fn depths(tokens: &[Token]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut d = 0u32;
+    for t in tokens {
+        match t.kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                out.push(d);
+                d += 1;
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                d = d.saturating_sub(1);
+                out.push(d);
+            }
+            _ => out.push(d),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: nondet-iteration
+// ---------------------------------------------------------------------
+
+/// Iterating a `HashMap`/`HashSet` in library code: the visit order is
+/// seeded per map instance, so anything order-sensitive downstream
+/// (reductions, wire payloads, Vec construction) silently loses
+/// determinism. Fix: `BTreeMap`/`BTreeSet`, or collect + sort keys.
+struct NondetIteration;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+impl Rule for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn check(&mut self, ctx: &FileContext, _cfg: &Config, out: &mut Vec<Finding>) {
+        if ctx.kind == FileKind::Test {
+            return;
+        }
+        let toks = &ctx.tokens;
+        // Pass 1: names bound to a hash collection (let bindings, struct
+        // fields, fn params — anything of the form `name: HashMap<…>` or
+        // `name = HashMap::new()`).
+        let mut hash_names: BTreeSet<String> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            let Some(s) = ident_of(t) else { continue };
+            if s != "HashMap" && s != "HashSet" {
+                continue;
+            }
+            if let Some(name) = bound_name(toks, i) {
+                hash_names.insert(name);
+            }
+        }
+        if hash_names.is_empty() {
+            return;
+        }
+        // Pass 2: iteration over those names.
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            // `name.iter()` style.
+            if let Some(m) = ident_of(t).filter(|m| ITER_METHODS.contains(m)) {
+                if i > 0
+                    && is_punct(&toks[i - 1], '.')
+                    && toks.get(i + 1).is_some_and(|n| is_punct(n, '('))
+                {
+                    if let Some(recv) = receiver_name(toks, i - 1) {
+                        if hash_names.contains(&recv) {
+                            out.push(finding(
+                                self.name(),
+                                ctx,
+                                t,
+                                format!(
+                                    "`{recv}.{m}()` iterates a HashMap/HashSet in \
+                                     nondeterministic order; use BTreeMap/BTreeSet or \
+                                     sort the keys first"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            // `for x in &name {` style.
+            if is_ident(t, "in") {
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|t| is_punct(t, '&') || is_ident(t, "mut"))
+                {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).and_then(ident_of) {
+                    if hash_names.contains(name)
+                        && toks.get(j + 1).is_some_and(|t| is_punct(t, '{'))
+                    {
+                        out.push(finding(
+                            self.name(),
+                            ctx,
+                            &toks[j],
+                            format!(
+                                "`for … in {name}` iterates a HashMap/HashSet in \
+                                 nondeterministic order; use BTreeMap/BTreeSet or sort \
+                                 the keys first"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Backwards scan from a `HashMap`/`HashSet` token to the name it is
+/// bound to: the identifier directly before the nearest single `:` or `=`
+/// (skipping `::` path separators).
+fn bound_name(tokens: &[Token], hash_idx: usize) -> Option<String> {
+    let mut k = hash_idx;
+    let stop = hash_idx.saturating_sub(24);
+    while k > stop {
+        k -= 1;
+        match &tokens[k].kind {
+            Tok::Punct(':') => {
+                if k > 0 && is_punct(&tokens[k - 1], ':') {
+                    // `::` path separator: skip it and the segment ident.
+                    k -= 1;
+                    continue;
+                }
+                return tokens
+                    .get(k.checked_sub(1)?)
+                    .and_then(ident_of)
+                    .map(String::from);
+            }
+            Tok::Punct('=') => {
+                return tokens
+                    .get(k.checked_sub(1)?)
+                    .and_then(ident_of)
+                    .map(String::from);
+            }
+            Tok::Ident(_) | Tok::Punct('<') | Tok::Punct('>') => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: atomic-in-kernel
+// ---------------------------------------------------------------------
+
+/// Kernel modules must stay atomics-free (and `unsafe`-free): the
+/// worker-count-invariance proof in docs/PERFORMANCE.md rests on
+/// chunk-local writes with input-order reductions — an atomic RMW would
+/// reintroduce schedule-dependent float ordering invisibly.
+struct AtomicInKernel;
+
+const ATOMIC_RMW: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+
+impl Rule for AtomicInKernel {
+    fn name(&self) -> &'static str {
+        "atomic-in-kernel"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
+        if !cfg.is_kernel(&ctx.path) {
+            return;
+        }
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let Some(s) = ident_of(t) else { continue };
+            let msg = if s.starts_with("Atomic") && s.len() > 6 {
+                format!(
+                    "`{s}` in a kernel module: kernels must use chunk-local writes, not atomics"
+                )
+            } else if ATOMIC_RMW.contains(&s) {
+                format!("atomic RMW `{s}` in a kernel module breaks schedule-invariant reductions")
+            } else if s == "unsafe" {
+                "`unsafe` in a kernel module: kernels must stay safe, bounds-checked Rust".into()
+            } else {
+                continue;
+            };
+            out.push(finding(self.name(), ctx, t, msg));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: float-reduction-order
+// ---------------------------------------------------------------------
+
+/// A `.sum()`/`.fold()`/`.reduce()` directly chained onto a parallel
+/// adaptor outside the audited kernel modules: float addition is not
+/// associative, so the reduction order must be fixed by construction
+/// (the kernel modules do this; ad-hoc call sites usually don't).
+struct FloatReductionOrder;
+
+const PAR_ADAPTORS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
+const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+impl Rule for FloatReductionOrder {
+    fn name(&self) -> &'static str {
+        "float-reduction-order"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
+        if ctx.kind == FileKind::Test || cfg.is_kernel(&ctx.path) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        let depth = depths(toks);
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let Some(s) = ident_of(t) else { continue };
+            if !PAR_ADAPTORS.contains(&s) || i == 0 || !is_punct(&toks[i - 1], '.') {
+                continue;
+            }
+            let d0 = depth[i];
+            // Scan the rest of the method chain at the same depth.
+            for j in i + 1..toks.len() {
+                if depth[j] < d0 || (is_punct(&toks[j], ';') && depth[j] == d0) {
+                    break;
+                }
+                if depth[j] == d0
+                    && is_punct(&toks[j - 1], '.')
+                    && ident_of(&toks[j]).is_some_and(|r| REDUCERS.contains(&r))
+                {
+                    let r = ident_of(&toks[j]).unwrap_or_default();
+                    out.push(finding(
+                        self.name(),
+                        ctx,
+                        &toks[j],
+                        format!(
+                            "`.{r}()` chained onto `.{s}()` outside the kernel modules: \
+                             parallel float reduction order is schedule-dependent; use a \
+                             sequential reduction over a deterministically ordered \
+                             collect, or move it into an audited kernel"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: hotpath-alloc
+// ---------------------------------------------------------------------
+
+/// Fresh heap allocation inside the training hot path: steady-state
+/// steps are designed to allocate nothing (tape buffer pool, PR 5), and
+/// a stray `vec![…]`/`to_vec()` per step costs page faults and memset
+/// churn. Constructors (`new`/`default`/`with_*`/`from_*`) are exempt —
+/// setup-time allocation is fine.
+struct HotpathAlloc;
+
+impl Rule for HotpathAlloc {
+    fn name(&self) -> &'static str {
+        "hotpath-alloc"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
+        if !cfg.is_hot(&ctx.path) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let ctor = ctx.enclosing_fn(i).is_some_and(|f| {
+                f.name == "new"
+                    || f.name == "default"
+                    || f.name.starts_with("with_")
+                    || f.name.starts_with("from_")
+            });
+            if ctor {
+                continue;
+            }
+            let Some(s) = ident_of(t) else { continue };
+            let msg = match s {
+                "Vec"
+                    if toks.get(i + 1).is_some_and(|a| is_punct(a, ':'))
+                        && toks.get(i + 2).is_some_and(|a| is_punct(a, ':'))
+                        && toks
+                            .get(i + 3)
+                            .and_then(ident_of)
+                            .is_some_and(|m| m == "new" || m == "with_capacity") =>
+                {
+                    format!(
+                        "`Vec::{}` in a hot-path module; draw scratch from the tape \
+                         buffer pool instead",
+                        ident_of(&toks[i + 3]).unwrap_or_default()
+                    )
+                }
+                "vec" if toks.get(i + 1).is_some_and(|a| is_punct(a, '!')) => {
+                    "`vec![…]` in a hot-path module; draw scratch from the tape buffer \
+                     pool instead"
+                        .into()
+                }
+                "to_vec"
+                    if i > 0
+                        && is_punct(&toks[i - 1], '.')
+                        && toks.get(i + 1).is_some_and(|a| is_punct(a, '(')) =>
+                {
+                    "`.to_vec()` in a hot-path module copies per call; reuse a pooled \
+                     buffer instead"
+                        .into()
+                }
+                _ => continue,
+            };
+            out.push(finding(self.name(), ctx, t, msg));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: unwrap-in-lib
+// ---------------------------------------------------------------------
+
+/// `unwrap()` / `panic!` (and terse `expect`s) in library code: every
+/// abort point must either become a typed error or carry an invariant
+/// message long enough to act on. `expect` with a descriptive message is
+/// the sanctioned form; suppressions document deliberate fail-fast
+/// sites.
+struct UnwrapInLib;
+
+impl Rule for UnwrapInLib {
+    fn name(&self) -> &'static str {
+        "unwrap-in-lib"
+    }
+
+    fn check(&mut self, ctx: &FileContext, _cfg: &Config, out: &mut Vec<Finding>) {
+        if ctx.kind != FileKind::Lib {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let Some(s) = ident_of(t) else { continue };
+            let msg: String = match s {
+                "unwrap"
+                    if i > 0
+                        && is_punct(&toks[i - 1], '.')
+                        && toks.get(i + 1).is_some_and(|a| is_punct(a, '(')) =>
+                {
+                    "`.unwrap()` in library code: return a typed error or use \
+                     `.expect(\"<invariant>\")` with a documented invariant"
+                        .into()
+                }
+                "panic" | "todo" | "unimplemented"
+                    if toks.get(i + 1).is_some_and(|a| is_punct(a, '!')) =>
+                {
+                    format!(
+                        "`{s}!` in library code: prefer a typed error; if the abort is \
+                         a deliberate invariant, suppress with a written reason"
+                    )
+                }
+                "expect"
+                    if i > 0
+                        && is_punct(&toks[i - 1], '.')
+                        && toks.get(i + 1).is_some_and(|a| is_punct(a, '(')) =>
+                {
+                    match toks.get(i + 2).map(|t| &t.kind) {
+                        Some(Tok::Str(m)) if m.len() < 8 => format!(
+                            "`.expect(\"{m}\")` message is too terse to document an \
+                             invariant; state what must hold and why"
+                        ),
+                        _ => continue,
+                    }
+                }
+                _ => continue,
+            };
+            out.push(finding(self.name(), ctx, t, msg));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: env-var-registry
+// ---------------------------------------------------------------------
+
+/// Every `std::env::var` read must name a knob declared in the central
+/// registry (`crates/core/src/config.rs`), which is also the documented
+/// `CGNN_*` table in the README. Non-literal names are only allowed in
+/// the registry itself ([`EnvKnob::lookup`]).
+struct EnvVarRegistry;
+
+impl Rule for EnvVarRegistry {
+    fn name(&self) -> &'static str {
+        "env-var-registry"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
+        if ctx.kind == FileKind::Test || cfg.is_registry(&ctx.path) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            if !is_ident(&toks[i], "env")
+                || !toks.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+                || !toks.get(i + 2).is_some_and(|t| is_punct(t, ':'))
+                || !toks
+                    .get(i + 3)
+                    .and_then(ident_of)
+                    .is_some_and(|m| m == "var" || m == "var_os")
+                || !toks.get(i + 4).is_some_and(|t| is_punct(t, '('))
+            {
+                continue;
+            }
+            match toks.get(i + 5).map(|t| &t.kind) {
+                Some(Tok::Str(name)) => {
+                    if !cfg.registered_env.contains(name) && !cfg.env_allowlist.contains(name) {
+                        out.push(finding(
+                            self.name(),
+                            ctx,
+                            &toks[i + 5],
+                            format!(
+                                "env var `{name}` is not declared in the \
+                                 crates/core/src/config.rs knob registry"
+                            ),
+                        ));
+                    }
+                }
+                _ => out.push(finding(
+                    self.name(),
+                    ctx,
+                    &toks[i],
+                    "env read with a non-literal name; route it through the EnvKnob \
+                     registry (crates/core/src/config.rs)"
+                        .into(),
+                )),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: lock-discipline
+// ---------------------------------------------------------------------
+
+/// Static deadlock smell: build the per-function lock acquisition-order
+/// graph of the comm crate (receiver field names of `.lock()` /
+/// `.borrow_mut()` sites) and report cycles. Complements SerialBackend's
+/// runtime deadlock detection — this one fires before any schedule does.
+///
+/// Known approximation: repeated acquisitions of the *same* field name
+/// (e.g. per-peer mailbox arrays) are not self-edges, because the static
+/// pass cannot distinguish instances.
+#[derive(Default)]
+struct LockDiscipline {
+    /// edge a→b: b acquired while (syntactically after) a, with one
+    /// example site per edge.
+    edges: BTreeMap<String, BTreeMap<String, Finding>>,
+}
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&mut self, ctx: &FileContext, cfg: &Config, _out: &mut Vec<Finding>) {
+        if !cfg.is_lock_scoped(&ctx.path) || ctx.kind != FileKind::Lib {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for f in &ctx.fns {
+            let mut order: Vec<String> = Vec::new();
+            for i in f.span.start..f.span.end.min(toks.len()) {
+                if ctx.in_test(i) {
+                    continue;
+                }
+                let Some(s) = ident_of(&toks[i]) else {
+                    continue;
+                };
+                if (s != "lock" && s != "borrow_mut")
+                    || i == 0
+                    || !is_punct(&toks[i - 1], '.')
+                    || !toks.get(i + 1).is_some_and(|t| is_punct(t, '('))
+                {
+                    continue;
+                }
+                let Some(recv) = receiver_name(toks, i - 1) else {
+                    continue;
+                };
+                if !order.contains(&recv) {
+                    for held in order.clone() {
+                        self.edges
+                            .entry(held)
+                            .or_default()
+                            .entry(recv.clone())
+                            .or_insert(finding(
+                                "lock-discipline",
+                                ctx,
+                                &toks[i],
+                                format!(
+                                    "`{recv}` acquired while a lock on `{}` may be held \
+                                     (fn `{}`)",
+                                    order.join("`, `"),
+                                    f.name
+                                ),
+                            ));
+                    }
+                    order.push(recv);
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, _cfg: &Config, out: &mut Vec<Finding>) {
+        // DFS cycle detection over the (deterministic) BTreeMap graph.
+        let nodes: Vec<&String> = self.edges.keys().collect();
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        for start in nodes {
+            let mut stack = vec![(start.clone(), vec![start.clone()])];
+            let mut visited: BTreeSet<String> = BTreeSet::new();
+            while let Some((node, path)) = stack.pop() {
+                let Some(nexts) = self.edges.get(&node) else {
+                    continue;
+                };
+                for (next, site) in nexts {
+                    if next == start {
+                        // Normalize the cycle to dedupe rotations.
+                        let mut cyc: Vec<String> = path.clone();
+                        cyc.sort();
+                        let key = cyc.join("->");
+                        if reported.insert(key) {
+                            let mut f = site.clone();
+                            f.message = format!(
+                                "lock-order cycle: `{}` → `{start}` — a concurrent \
+                                 schedule can deadlock; impose a global acquisition \
+                                 order ({})",
+                                path.join("` → `"),
+                                site.message
+                            );
+                            out.push(f);
+                        }
+                    } else if visited.insert(next.clone()) {
+                        let mut p = path.clone();
+                        p.push(next.clone());
+                        stack.push((next.clone(), p));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! detlint integration tests: per-rule fixtures with a golden JSON
+//! report, plus the meta-test that the live workspace itself is clean
+//! under `--deny`.
+
+use std::path::{Path, PathBuf};
+
+use cgnn_analyze::context::FileKind;
+use cgnn_analyze::{Config, Engine, Report};
+
+/// Fixture files under `tests/fixtures/`, scanned with [`FileKind::Lib`]
+/// and [`fixture_config`]. Every rule has a positive (must fire) and a
+/// suppressed negative (must not).
+const FIXTURES: &[&str] = &[
+    "atomic_in_kernel.rs",
+    "bad_suppression.rs",
+    "env_var_registry.rs",
+    "float_reduction_order.rs",
+    "hotpath_alloc.rs",
+    "lock_discipline.rs",
+    "nondet_iteration.rs",
+    "unwrap_in_lib.rs",
+];
+
+/// Map fixture basenames into the roles the path-scoped rules look for.
+fn fixture_config() -> Config {
+    Config {
+        kernel_modules: vec!["atomic_in_kernel.rs".into()],
+        hot_modules: vec!["hotpath_alloc.rs".into()],
+        lock_modules: vec!["lock_discipline.rs".into()],
+        registry_files: vec![],
+        registered_env: ["CGNN_REGISTERED"].map(String::from).into(),
+        env_allowlist: ["CARGO_MANIFEST_DIR"].map(String::from).into(),
+    }
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_report() -> Report {
+    let engine = Engine::new(fixture_config());
+    let mut diagnostics = Vec::new();
+    for name in FIXTURES {
+        let src = std::fs::read_to_string(fixture_dir().join(name))
+            .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
+        diagnostics.extend(engine.analyze_source(name, FileKind::Lib, &src));
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    Report {
+        diagnostics,
+        files_scanned: FIXTURES.len(),
+    }
+}
+
+/// Every rule's positive fires, every suppressed negative stays quiet,
+/// and the full rendered JSON matches the checked-in golden byte for
+/// byte.
+#[test]
+fn fixture_report_matches_golden() {
+    let report = fixture_report();
+    let json = serde_json::to_string_pretty(&report.to_json())
+        .expect("value tree always serializes")
+        + "\n";
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fixtures.json");
+    if std::env::var("DETLINT_BLESS").is_ok() {
+        std::fs::write(&path, &json).expect("golden must be writable under DETLINT_BLESS");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden missing: regenerate with DETLINT_BLESS=1 cargo test -p cgnn-analyze");
+    assert_eq!(
+        json, golden,
+        "fixture diagnostics drifted from tests/golden/fixtures.json; \
+         if the change is intended, regenerate with DETLINT_BLESS=1"
+    );
+}
+
+/// Structural guard independent of the golden text: each rule fires at
+/// least once across the fixtures, so a rule silently dying cannot hide
+/// behind a stale golden refresh.
+#[test]
+fn every_rule_fires_on_its_fixture() {
+    let report = fixture_report();
+    for rule in [
+        "nondet-iteration",
+        "atomic-in-kernel",
+        "float-reduction-order",
+        "hotpath-alloc",
+        "unwrap-in-lib",
+        "env-var-registry",
+        "lock-discipline",
+        "suppression-syntax",
+    ] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "rule `{rule}` produced no fixture diagnostics"
+        );
+    }
+}
+
+/// Suppressed negatives: no diagnostic may point at a line covered by a
+/// well-formed fixture suppression (each fixture places its negative
+/// directly under a `detlint: allow` comment).
+#[test]
+fn suppressed_negatives_stay_quiet() {
+    let report = fixture_report();
+    for d in &report.diagnostics {
+        // suppression-syntax diagnostics legitimately point at malformed
+        // `detlint: allow` lines; every other rule must honor them.
+        if d.rule == "suppression-syntax" {
+            continue;
+        }
+        assert!(
+            !d.snippet.contains("detlint: allow"),
+            "diagnostic escaped its suppression: {}",
+            d.render()
+        );
+    }
+}
+
+/// The meta-test: the live workspace must be clean, i.e.
+/// `cargo run -p cgnn-analyze -- --workspace --deny` exits 0.
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut engine = Engine::new(Config::default());
+    let report = engine
+        .analyze_workspace(&root)
+        .expect("workspace scan must succeed");
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must stay detlint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,13 @@
+// Fixture: atomic-in-kernel. The test config lists this file as a kernel
+// module. Not compiled — scanned by detlint's golden tests only.
+
+pub fn positive(flag: &core::sync::atomic::AtomicBool) -> bool {
+    let v = unsafe { core::ptr::read_volatile(flag as *const _ as *const u8) };
+    flag.fetch_or(v != 0, core::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn suppressed() {
+    // detlint: allow(atomic-in-kernel, "fixture: counter feeds a log line only, never a float reduction")
+    let n = core::sync::atomic::AtomicUsize::new(0);
+    let _ = n;
+}

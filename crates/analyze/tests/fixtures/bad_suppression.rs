@@ -1,0 +1,12 @@
+// Fixture: suppression-syntax. Reasonless or malformed suppressions are
+// diagnostics themselves. Not compiled — scanned by detlint's golden
+// tests only.
+
+// detlint: allow(unwrap-in-lib)
+pub fn missing_reason() {}
+
+// detlint: allow(unwrap-in-lib, "")
+pub fn empty_reason() {}
+
+// detlint: deny(everything)
+pub fn wrong_verb() {}

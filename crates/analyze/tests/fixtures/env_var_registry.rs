@@ -1,0 +1,20 @@
+// Fixture: env-var-registry. The test config registers only
+// `CGNN_REGISTERED`. Not compiled — scanned by detlint's golden tests
+// only.
+
+pub fn positive() -> Option<String> {
+    std::env::var("CGNN_UNREGISTERED").ok()
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn registered() -> Option<String> {
+    std::env::var("CGNN_REGISTERED").ok()
+}
+
+pub fn suppressed() -> Option<String> {
+    // detlint: allow(env-var-registry, "fixture: probing a foreign tool's variable that is not ours to document")
+    std::env::var("EXTERNAL_TOOL_FLAG").ok()
+}

@@ -1,0 +1,16 @@
+// Fixture: float-reduction-order. This file is *not* a kernel module in
+// the test config. Not compiled — scanned by detlint's golden tests only.
+use rayon::prelude::*;
+
+pub fn positive(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn sequential_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * 2.0).sum()
+}
+
+pub fn suppressed(xs: &[f64]) -> f64 {
+    // detlint: allow(float-reduction-order, "fixture: summands are integer-valued so f64 addition is exact here")
+    xs.par_iter().map(|x| x.round()).sum()
+}

@@ -1,0 +1,18 @@
+// Fixture: hotpath-alloc. The test config lists this file as a hot-path
+// module. Not compiled — scanned by detlint's golden tests only.
+
+pub fn new() -> Vec<f64> {
+    // Constructors are exempt: setup-time allocation is fine.
+    Vec::with_capacity(8)
+}
+
+pub fn positive(n: usize) -> Vec<f64> {
+    let mut buf = Vec::new();
+    buf.extend(vec![0.0; n]);
+    buf
+}
+
+pub fn suppressed(xs: &[f64]) -> Vec<f64> {
+    // detlint: allow(hotpath-alloc, "fixture: one-time export copy outside the steady-state step loop")
+    xs.to_vec()
+}

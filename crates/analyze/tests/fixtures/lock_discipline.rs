@@ -1,0 +1,31 @@
+// Fixture: lock-discipline. The test config scopes the lock graph to this
+// file. Not compiled — scanned by detlint's golden tests only.
+use std::sync::Mutex;
+
+pub struct Slots {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+pub fn forward(s: &Slots) {
+    let _ga = s.a.lock();
+    let _gb = s.b.lock();
+}
+
+pub fn backward(s: &Slots) {
+    let _gb = s.b.lock();
+    let _ga = s.a.lock();
+}
+
+pub fn cd_forward(s: &Slots) {
+    let _gc = s.c.lock();
+    let _gd = s.d.lock();
+}
+
+pub fn cd_backward(s: &Slots) {
+    let _gd = s.d.lock();
+    // detlint: allow(lock-discipline, "fixture: the c/d pair is serialized by an external ordering token in this demo")
+    let _gc = s.c.lock();
+}

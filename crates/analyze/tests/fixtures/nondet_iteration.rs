@@ -1,0 +1,22 @@
+// Fixture: nondet-iteration. Not compiled — scanned by detlint's golden
+// tests only.
+use std::collections::HashMap;
+
+pub fn positive() -> Vec<u64> {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, v) in &m {
+        out.push(k + v);
+    }
+    let keys: Vec<u64> = m.keys().copied().collect();
+    out.extend(keys);
+    out
+}
+
+pub fn suppressed() -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    // detlint: allow(nondet-iteration, "fixture: values are summed and integer addition is order-free")
+    m.values().sum()
+}

@@ -1,0 +1,20 @@
+// Fixture: unwrap-in-lib. Not compiled — scanned by detlint's golden
+// tests only.
+
+pub fn positive(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    if a > 100 {
+        panic!("too big");
+    }
+    let b: u32 = "7".parse().expect("ok");
+    a + b
+}
+
+pub fn documented(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees Some: the id was validated at parse time")
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // detlint: allow(unwrap-in-lib, "fixture: demo of a reasoned suppression on a deliberate abort")
+    x.unwrap()
+}

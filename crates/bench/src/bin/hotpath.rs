@@ -31,6 +31,7 @@
 use std::time::Instant;
 
 use cgnn_bench::{env_usize, serde_json, BASELINE_STEPS_PER_SEC};
+use cgnn_core::config;
 use cgnn_core::mp_layer::overlap_stats;
 use cgnn_core::{GnnConfig, HaloExchangeMode};
 use cgnn_mesh::{BoxMesh, TaylorGreen};
@@ -86,18 +87,18 @@ fn measure(session: &Session, mode: HaloExchangeMode, steps: usize, warmup: usiz
 }
 
 fn main() {
-    let elems = env_usize("CGNN_BENCH_ELEMS", 6);
-    let poly = env_usize("CGNN_BENCH_POLY", 2);
-    let steps = env_usize("CGNN_BENCH_STEPS", 10);
-    let warmup = env_usize("CGNN_BENCH_WARMUP", 2);
-    let reps = env_usize("CGNN_BENCH_REPS", 3);
-    let model = std::env::var("CGNN_BENCH_MODEL").unwrap_or_else(|_| "small".into());
+    let elems = env_usize(&config::CGNN_BENCH_ELEMS, 6);
+    let poly = env_usize(&config::CGNN_BENCH_POLY, 2);
+    let steps = env_usize(&config::CGNN_BENCH_STEPS, 10);
+    let warmup = env_usize(&config::CGNN_BENCH_WARMUP, 2);
+    let reps = env_usize(&config::CGNN_BENCH_REPS, 3);
+    let model = config::CGNN_BENCH_MODEL.string_or("small");
     let config = match model.as_str() {
         "large" => GnnConfig::large(),
         _ => GnnConfig::small(),
     };
-    let ranks: Vec<usize> = std::env::var("CGNN_BENCH_RANKS")
-        .unwrap_or_else(|_| "1,2,4,8".into())
+    let ranks: Vec<usize> = config::CGNN_BENCH_RANKS
+        .string_or("1,2,4,8")
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();

@@ -11,6 +11,7 @@
 //! | Fig. 7 (weak scaling)               | `fig7` |
 //! | Fig. 8 (relative throughput)        | `fig8` |
 
+use cgnn_core::config::EnvKnob;
 use cgnn_mesh::TaylorGreen;
 use cgnn_session::Session;
 
@@ -27,13 +28,13 @@ pub fn demo_loss(session: &Session) -> f64 {
     }
 }
 
-/// Parse an env var override with a default (used by the figure binaries to
-/// switch between quick and paper-scale runs).
-pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+/// Parse a registered env knob override with a binary-specific default
+/// (used by the figure binaries to switch between quick and paper-scale
+/// runs). Taking an [`EnvKnob`] rather than a bare name means every
+/// override a binary honors is declared in the central registry
+/// (`cgnn_core::config`) and therefore documented in the README table.
+pub fn env_usize(knob: &EnvKnob, default: usize) -> usize {
+    knob.usize_or(default)
 }
 
 /// Write a serializable result as pretty JSON under `results/`.

@@ -258,6 +258,7 @@ impl Backend {
                 "" | "threads" => Backend::Threads,
                 "serial" => Backend::Serial,
                 other => {
+                    // detlint: allow(unwrap-in-lib, "config error at startup: fail loudly rather than silently testing the wrong transport")
                     panic!("unknown CGNN_BACKEND value `{other}` (expected `threads` or `serial`)")
                 }
             },

@@ -111,6 +111,7 @@ impl SerialRank {
 
     fn check_poison(st: &State) {
         if st.poisoned {
+            // detlint: allow(unwrap-in-lib, "deliberate abort: continuing after a peer died would hang this rank forever")
             panic!("serial backend: a peer rank panicked or deadlocked");
         }
     }
@@ -133,6 +134,7 @@ impl SerialRank {
         if st.idle_passes > 4 * self.world.size + 16 {
             st.poisoned = true;
             self.world.baton.notify_all();
+            // detlint: allow(unwrap-in-lib, "deadlock supervisor: panicking is the mechanism that unwedges the test run")
             panic!(
                 "serial backend deadlock: every live rank is blocked \
                  (mismatched collective schedules or a receive whose send never comes)"

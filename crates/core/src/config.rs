@@ -1,0 +1,232 @@
+//! Central registry of every `CGNN_*` environment knob.
+//!
+//! Every environment variable the workspace reads is declared here as an
+//! [`EnvKnob`] carrying its name, documented default, and a one-line
+//! description. The registry is load-bearing in three ways:
+//!
+//! 1. **Single source of truth** — the "Environment knobs" table in the
+//!    repository README is rendered from [`KNOBS`] and a unit test keeps
+//!    the two in sync.
+//! 2. **Machine-checked** — `cgnn-analyze`'s `env-var-registry` lint
+//!    rejects any `std::env::var` read in the workspace whose variable
+//!    name is not declared below, so ad-hoc knobs cannot accrete.
+//! 3. **Sanctioned read point** — [`EnvKnob::lookup`] is the one place
+//!    raw `std::env::var` happens for registry knobs; call sites that
+//!    cannot depend on `cgnn-core` (e.g. `cgnn-comm`, which `cgnn-core`
+//!    itself depends on) read their literal name directly, and the lint
+//!    verifies the literal is declared here.
+//!
+//! Defaults listed as text are documentation: the operative default lives
+//! at the call site (several binaries use different scales for the same
+//! knob), and the table records the common case.
+
+/// One declared environment variable: its name, documented default, and
+/// what it controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvKnob {
+    /// The environment variable name (`CGNN_*`).
+    pub name: &'static str,
+    /// Human-readable default shown in the README table.
+    pub default: &'static str,
+    /// One-line description of what the knob controls.
+    pub doc: &'static str,
+}
+
+impl EnvKnob {
+    /// Raw registry read: the value of the variable, if set and non-empty.
+    ///
+    /// This is the sanctioned `std::env::var` site for registry knobs —
+    /// the `env-var-registry` lint whitelists this file and rejects
+    /// unregistered reads everywhere else.
+    pub fn lookup(&self) -> Option<String> {
+        std::env::var(self.name).ok().filter(|v| !v.is_empty())
+    }
+
+    /// The knob parsed as `usize`, or `default` when unset or unparsable.
+    pub fn usize_or(&self, default: usize) -> usize {
+        self.lookup()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The knob as a string, or `default` when unset.
+    pub fn string_or(&self, default: &str) -> String {
+        self.lookup().unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Communication transport selection (`threads` or `serial`), honored by
+/// `World::run` and the session default.
+pub const CGNN_BACKEND: EnvKnob = EnvKnob {
+    name: "CGNN_BACKEND",
+    default: "threads",
+    doc: "Comm transport: `threads` (one OS thread per rank) or `serial` \
+          (deterministic round-robin loopback).",
+};
+
+/// Kernel worker count for the parallel tensor kernels (results are
+/// worker-count-invariant by construction; this only changes timing).
+pub const CGNN_NUM_THREADS: EnvKnob = EnvKnob {
+    name: "CGNN_NUM_THREADS",
+    default: "all cores",
+    doc: "Tensor-kernel worker count; results are bit-identical at any \
+          value (see docs/PERFORMANCE.md). Falls back to \
+          `RAYON_NUM_THREADS`.",
+};
+
+/// Epoch/iteration count used by the examples and figure binaries.
+pub const CGNN_ITERS: EnvKnob = EnvKnob {
+    name: "CGNN_ITERS",
+    default: "30\u{2013}100 (per binary)",
+    doc: "Training epochs in the examples and `fig6_right`.",
+};
+
+/// Cubic element count per axis for the examples and figure binaries.
+pub const CGNN_ELEMS: EnvKnob = EnvKnob {
+    name: "CGNN_ELEMS",
+    default: "8\u{2013}12 (per binary)",
+    doc: "Elements per axis of the Taylor-Green mesh in examples and \
+          figure binaries (paper scale: 32).",
+};
+
+/// Rank-sweep cap for `fig6_left`.
+pub const CGNN_MAXR: EnvKnob = EnvKnob {
+    name: "CGNN_MAXR",
+    default: "64",
+    doc: "Largest rank count swept by `fig6_left`.",
+};
+
+/// `hotpath` bench: elements per axis.
+pub const CGNN_BENCH_ELEMS: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_ELEMS",
+    default: "6",
+    doc: "`hotpath` bench mesh size (elements per axis).",
+};
+
+/// `hotpath` bench: polynomial order.
+pub const CGNN_BENCH_POLY: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_POLY",
+    default: "2",
+    doc: "`hotpath` bench GLL polynomial order.",
+};
+
+/// `hotpath` bench: timed steps per repetition.
+pub const CGNN_BENCH_STEPS: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_STEPS",
+    default: "10",
+    doc: "`hotpath` bench timed training steps per repetition.",
+};
+
+/// `hotpath` bench: warmup steps per cell.
+pub const CGNN_BENCH_WARMUP: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_WARMUP",
+    default: "2",
+    doc: "`hotpath` bench warmup steps before timing.",
+};
+
+/// `hotpath` bench: repetitions (best is reported).
+pub const CGNN_BENCH_REPS: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_REPS",
+    default: "3",
+    doc: "`hotpath` bench repetitions; the fastest is recorded.",
+};
+
+/// `hotpath` bench: comma-separated rank counts to sweep.
+pub const CGNN_BENCH_RANKS: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_RANKS",
+    default: "1,2,4,8",
+    doc: "`hotpath` bench comma-separated rank counts.",
+};
+
+/// `hotpath` bench: model size preset.
+pub const CGNN_BENCH_MODEL: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_MODEL",
+    default: "small",
+    doc: "`hotpath` bench model preset (`small` or `large`).",
+};
+
+/// Fallback worker-count knob honored by the vendored rayon shim when
+/// `CGNN_NUM_THREADS` is unset (upstream rayon compatibility).
+pub const RAYON_NUM_THREADS: EnvKnob = EnvKnob {
+    name: "RAYON_NUM_THREADS",
+    default: "unset",
+    doc: "Upstream-rayon-compatible fallback for `CGNN_NUM_THREADS`.",
+};
+
+/// Every declared knob, in presentation order (the README table order).
+pub const KNOBS: &[&EnvKnob] = &[
+    &CGNN_BACKEND,
+    &CGNN_NUM_THREADS,
+    &CGNN_ITERS,
+    &CGNN_ELEMS,
+    &CGNN_MAXR,
+    &CGNN_BENCH_ELEMS,
+    &CGNN_BENCH_POLY,
+    &CGNN_BENCH_STEPS,
+    &CGNN_BENCH_WARMUP,
+    &CGNN_BENCH_REPS,
+    &CGNN_BENCH_RANKS,
+    &CGNN_BENCH_MODEL,
+    &RAYON_NUM_THREADS,
+];
+
+/// Render the registry as the markdown table embedded in the README
+/// ("Environment knobs" section). A unit test asserts the README copy is
+/// byte-identical, so editing either side without the other fails CI.
+pub fn knobs_markdown_table() -> String {
+    let mut out = String::from("| Variable | Default | Controls |\n|---|---|---|\n");
+    for k in KNOBS {
+        out.push_str(&format!("| `{}` | {} | {} |\n", k.name, k.default, k.doc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_names_are_unique_and_well_formed() {
+        let mut names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate knob names");
+        for k in KNOBS {
+            assert!(
+                k.name.starts_with("CGNN_") || k.name == "RAYON_NUM_THREADS",
+                "unexpected knob prefix: {}",
+                k.name
+            );
+            assert!(!k.doc.is_empty(), "{} has no doc line", k.name);
+            assert!(!k.default.is_empty(), "{} has no default", k.name);
+        }
+    }
+
+    #[test]
+    fn usize_or_parses_and_defaults() {
+        // Use a name that is never set in CI.
+        let knob = EnvKnob {
+            name: "CGNN_TEST_UNSET_KNOB",
+            default: "7",
+            doc: "test",
+        };
+        assert_eq!(knob.usize_or(7), 7);
+        assert_eq!(knob.string_or("x"), "x");
+        assert!(knob.lookup().is_none());
+    }
+
+    #[test]
+    fn readme_table_matches_registry() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md at workspace root");
+        let table = knobs_markdown_table();
+        assert!(
+            readme.contains(&table),
+            "README 'Environment knobs' table is out of sync with \
+             cgnn_core::config::KNOBS — regenerate it with \
+             knobs_markdown_table() (expected block:\n{table})"
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod ddp;
 pub mod exchange;
 pub mod loss;

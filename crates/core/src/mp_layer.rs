@@ -130,6 +130,7 @@ impl CustomOp for HaloSyncOp {
     }
 
     fn backward(&self, grad_out: &Tensor, _inputs: &[&Tensor]) -> Vec<Option<Tensor>> {
+        // detlint: allow(hotpath-alloc, "one 1-element Vec per halo-sync backward, amortized over the whole layer's gradient work")
         vec![Some(halo_exchange_apply(grad_out, &self.graph, &self.ctx))]
     }
 }
@@ -145,6 +146,7 @@ fn record_halo_sync(
     ctx: &HaloContext,
 ) -> VarId {
     tape.custom(
+        // detlint: allow(hotpath-alloc, "1-element parent list per halo-sync record; the tape API takes an owned Vec")
         vec![a],
         value,
         Box::new(HaloSyncOp {

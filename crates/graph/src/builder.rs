@@ -6,7 +6,7 @@
 //! edges, computes the `1/d` consistency weights, and derives the halo
 //! exchange plan from coincident global ids shared with other ranks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cgnn_mesh::BoxMesh;
@@ -107,9 +107,10 @@ fn build_rank_graph(
     // Key: (min_gid, max_gid); value: displacement min -> max measured
     // inside the generating element. Coincident copies from different
     // elements produce identical displacements (GLL lattice symmetry), so
-    // keeping the first is exact.
-    let mut edge_map: HashMap<(u64, u64), [f64; 3]> =
-        HashMap::with_capacity(elems.len() * links.len());
+    // keeping the first is exact. A BTreeMap keeps the dedup order-free:
+    // iteration comes out key-sorted by construction, with no
+    // per-instance hash seed anywhere near the edge list.
+    let mut edge_map: BTreeMap<(u64, u64), [f64; 3]> = BTreeMap::new();
     for &e in elems {
         for &(la, lb) in &links {
             let (na, nb) = (locals[la], locals[lb]);
@@ -125,8 +126,8 @@ fn build_rank_graph(
             edge_map.entry(key).or_insert(disp);
         }
     }
-    let mut undirected: Vec<((u64, u64), [f64; 3])> = edge_map.into_iter().collect();
-    undirected.sort_unstable_by_key(|&(k, _)| k);
+    // BTreeMap iteration is already ascending in (min_gid, max_gid).
+    let undirected: Vec<((u64, u64), [f64; 3])> = edge_map.into_iter().collect();
 
     // ---- Directed edges + 1/d_ij weights. ----
     let n_dir = undirected.len() * 2;
@@ -149,7 +150,7 @@ fn build_rank_graph(
 
     // ---- 1/d_i node weights + halo plan. ----
     let mut node_inv_degree = Vec::with_capacity(gids.len());
-    let mut shared_per_rank: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut shared_per_rank: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (lid, &gid) in gids.iter().enumerate() {
         let ranks = ranks_of.node_ranks(gid);
         debug_assert!(
@@ -165,8 +166,8 @@ fn build_rank_graph(
             }
         }
     }
-    let mut neighbors: Vec<usize> = shared_per_rank.keys().copied().collect();
-    neighbors.sort_unstable();
+    // BTreeMap keys iterate ascending — neighbor order is sorted for free.
+    let neighbors: Vec<usize> = shared_per_rank.keys().copied().collect();
     let send_ids: Vec<Vec<usize>> = neighbors
         .iter()
         .map(|s| shared_per_rank.remove(s).expect("key present"))
@@ -201,6 +202,93 @@ fn build_rank_graph(
 mod tests {
     use super::*;
     use cgnn_partition::Strategy;
+    use std::collections::HashMap;
+
+    /// FNV-1a over one u64.
+    fn fnv(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Order-sensitive fingerprint of every field of a [`LocalGraph`].
+    fn graph_fingerprint(g: &LocalGraph) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv(&mut h, g.rank as u64);
+        fnv(&mut h, g.n_ranks as u64);
+        for &x in &g.gids {
+            fnv(&mut h, x);
+        }
+        for p in &g.pos {
+            for &c in p {
+                fnv(&mut h, c.to_bits());
+            }
+        }
+        for &x in g.edge_src.iter() {
+            fnv(&mut h, x as u64);
+        }
+        for &x in g.edge_dst.iter() {
+            fnv(&mut h, x as u64);
+        }
+        for d in &g.edge_disp {
+            for &c in d {
+                fnv(&mut h, c.to_bits());
+            }
+        }
+        for &x in g.edge_inv_degree.iter() {
+            fnv(&mut h, x.to_bits());
+        }
+        for &x in g.node_inv_degree.iter() {
+            fnv(&mut h, x.to_bits());
+        }
+        for &x in g.interior_rows.iter() {
+            fnv(&mut h, x as u64);
+        }
+        for &x in g.boundary_rows.iter() {
+            fnv(&mut h, x as u64);
+        }
+        for &n in &g.halo.neighbors {
+            fnv(&mut h, n as u64);
+        }
+        for ids in &g.halo.send_ids {
+            fnv(&mut h, ids.len() as u64);
+            for &x in ids {
+                fnv(&mut h, x as u64);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn construction_fingerprints_are_frozen() {
+        // Golden fingerprints captured from the HashMap-based builder
+        // immediately before the BTreeMap refactor: asserting them pins
+        // field-identical graph construction across container changes.
+        let mesh = BoxMesh::new((3, 3, 3), 2, (1.0, 1.0, 1.0), false);
+        let part = Partition::new(&mesh, 4, Strategy::Pencil);
+        let fp: Vec<u64> = build_distributed_graph(&mesh, &part)
+            .iter()
+            .map(graph_fingerprint)
+            .collect();
+        assert_eq!(
+            fp,
+            [
+                0xe1a6_5089_88b4_24a2,
+                0x9cbe_1032_8ee7_ea22,
+                0x85e1_3f23_54b7_e5bb,
+                0xbe94_4522_c1a0_510f,
+            ]
+        );
+
+        let mesh = BoxMesh::new((4, 2, 2), 3, (2.0, 1.0, 1.0), true);
+        let part = Partition::new(&mesh, 2, Strategy::Slab);
+        let fp2: Vec<u64> = build_distributed_graph(&mesh, &part)
+            .iter()
+            .map(graph_fingerprint)
+            .collect();
+        assert_eq!(fp2, [0x6e63_5c88_c432_8081, 0x6d0b_49be_7f44_be0e]);
+    }
 
     #[test]
     fn single_element_graph_matches_paper_fig2() {

@@ -107,7 +107,9 @@ pub fn cubic_layout(r: usize) -> Layout {
             }
             let rz = rest / ry;
             let dims = [rx, ry, rz];
-            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            let hi = dims.iter().max().expect("dims is a fixed 3-element array");
+            let lo = dims.iter().min().expect("dims is a fixed 3-element array");
+            let score = hi - lo;
             if score < best_score {
                 best_score = score;
                 best = Layout::new(rx, ry, rz);

@@ -85,6 +85,7 @@ impl ElementOps {
                     }
                 }
             }
+            // detlint: allow(unwrap-in-lib, "axis comes from internal 0..3 loops; a typed error would force fallible signatures through every kernel")
             _ => panic!("axis must be 0..3"),
         }
     }
@@ -133,6 +134,7 @@ impl ElementOps {
                     }
                 }
             }
+            // detlint: allow(unwrap-in-lib, "axis comes from internal 0..3 loops; a typed error would force fallible signatures through every kernel")
             _ => panic!("axis must be 0..3"),
         }
     }

@@ -638,7 +638,9 @@ fn gemm_tile_4x8(
     }
     let a0 = (first_row + i0) * k;
     for p in 0..k {
-        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8].try_into().expect("b tile");
+        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8]
+            .try_into()
+            .expect("j0 + 8 <= n: caller tiles n in full 8-wide blocks");
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let a_val = a[a0 + r * k + p];
             for t in 0..8 {
@@ -677,8 +679,12 @@ fn gemm_tn_tile_4x8(
     let mut acc = [[0.0f64; 8]; 4];
     let col = first_row + i0;
     for p in 0..k {
-        let a_col: &[f64; 4] = a[p * m + col..p * m + col + 4].try_into().expect("a tile");
-        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8].try_into().expect("b tile");
+        let a_col: &[f64; 4] = a[p * m + col..p * m + col + 4]
+            .try_into()
+            .expect("col + 4 <= m: caller tiles m in full 4-high blocks");
+        let b_row: &[f64; 8] = b[p * n + j0..p * n + j0 + 8]
+            .try_into()
+            .expect("j0 + 8 <= n: caller tiles n in full 8-wide blocks");
         for (acc_row, &a_val) in acc.iter_mut().zip(a_col.iter()) {
             for t in 0..8 {
                 acc_row[t] += a_val * b_row[t];
