@@ -81,6 +81,9 @@ pub struct FileContext {
     pub suppressions: Vec<Suppression>,
     /// Malformed suppression comments.
     pub bad_suppressions: Vec<BadSuppression>,
+    /// Structural recovery: fn items with calls/panics, rank-conditioned
+    /// branch spans (see [`crate::parser`]).
+    pub parsed: crate::parser::ParsedFile,
 }
 
 impl FileContext {
@@ -90,6 +93,7 @@ impl FileContext {
         let test_spans = find_test_spans(&tokens);
         let fns = find_fns(&tokens);
         let (suppressions, bad_suppressions) = parse_suppressions(&comments);
+        let parsed = crate::parser::parse(&tokens, &comments);
         FileContext {
             path: path.to_string(),
             kind,
@@ -99,6 +103,7 @@ impl FileContext {
             fns,
             suppressions,
             bad_suppressions,
+            parsed,
         }
     }
 

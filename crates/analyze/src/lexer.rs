@@ -22,7 +22,9 @@ pub struct Token {
 /// Token payload kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
-    /// Identifier or keyword.
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix
+    /// (`r#fn` is an *identifier*, never the `fn` keyword), so structure
+    /// recovery cannot mistake an escaped keyword for the real thing.
     Ident(String),
     /// String literal (cooked or raw); payload is the raw source slice
     /// between the delimiters, escapes unprocessed.
@@ -31,9 +33,14 @@ pub enum Tok {
     Char,
     /// Lifetime (`'a`) — distinguished from char literals.
     Lifetime,
-    /// Numeric literal (integer part only; `1.5` lexes as `1`, `.`, `5`).
+    /// Numeric literal. Floats and exponents are one token (`1.5`,
+    /// `1e-3`, `2.5e+7`); a range like `1..2` stays `Num`, `.`, `.`,
+    /// `Num` because the `.` is only folded in when a digit follows it.
     Num,
-    /// Any other single character.
+    /// Any other single character. Multi-character operators (`>>`, `->`,
+    /// `::`) are deliberately left as individual characters: generic
+    /// nesting like `Vec<Vec<f64>>` closes with two separate `>` tokens,
+    /// so consumers never need to split a shift token.
     Punct(char),
 }
 
@@ -115,6 +122,7 @@ impl Lexer {
                 '/' if self.peek(1) == Some('*') => self.block_comment(line),
                 '"' => self.string(line, col, false),
                 'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                'r' if self.raw_ident_ahead() => self.raw_ident(line, col),
                 '\'' => self.char_or_lifetime(line, col),
                 c if c.is_alphabetic() || c == '_' => self.ident(line, col),
                 c if c.is_ascii_digit() => self.number(line, col),
@@ -285,6 +293,32 @@ impl Lexer {
         self.push(Tok::Char, line, col);
     }
 
+    /// True when the cursor sits on `r#ident` (a raw identifier). Raw
+    /// *strings* (`r#"…"#`) are claimed by [`Self::raw_or_byte_string`]
+    /// first, so here a `#` followed by an identifier start is decisive.
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(1) == Some('#') && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+
+    /// Lex `r#name` as the single identifier `r#name`. Keeping the `r#`
+    /// prefix means an escaped keyword (`r#fn`, `r#match`) never compares
+    /// equal to the keyword itself, so structure recovery in
+    /// [`crate::context`]/[`crate::parser`] cannot see a phantom item.
+    fn raw_ident(&mut self, line: u32, col: u32) {
+        let mut name = String::from("r#");
+        self.bump(); // r
+        self.bump(); // #
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(name), line, col);
+    }
+
     fn ident(&mut self, line: u32, col: u32) {
         let mut name = String::new();
         while let Some(c) = self.peek(0) {
@@ -298,13 +332,44 @@ impl Lexer {
         self.push(Tok::Ident(name), line, col);
     }
 
+    /// Lex a numeric literal as ONE token, including fraction and signed
+    /// exponent (`1.5`, `1e-3`, `2.5E+7`, `1_000.25`). The `.` is folded
+    /// in only when a digit follows it and the literal has no `.` yet, so
+    /// a range `1..2` keeps its two `.` puncts and a tuple access `t.0`
+    /// keeps the field number separate from the receiver.
     fn number(&mut self, line: u32, col: u32) {
-        while let Some(c) = self.peek(0) {
-            if c.is_alphanumeric() || c == '_' {
-                self.bump();
-            } else {
-                break;
+        let mut text = String::new();
+        loop {
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
             }
+            let radix_prefixed =
+                text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o");
+            // Signed exponent: `1e` / `2.5E` followed by `+`/`-` digit.
+            if !radix_prefixed
+                && (text.ends_with('e') || text.ends_with('E'))
+                && matches!(self.peek(0), Some('+' | '-'))
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                text.push(self.bump().unwrap_or('-'));
+                continue;
+            }
+            // Fraction: `.` + digit, at most once, never after 0x/0b/0o.
+            if !radix_prefixed
+                && !text.contains('.')
+                && self.peek(0) == Some('.')
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                self.bump();
+                text.push('.');
+                continue;
+            }
+            break;
         }
         self.push(Tok::Num, line, col);
     }
@@ -362,6 +427,81 @@ mod tests {
             .collect();
         assert_eq!(strs.len(), 2);
         assert_eq!(strs[0], "a \"quoted\" b");
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#fn` must not decay into `r`, `#`, `fn` — the phantom `fn`
+        // keyword would corrupt item recovery downstream.
+        assert_eq!(idents("fn r#fn() {}"), vec!["fn", "r#fn"]);
+        assert_eq!(
+            idents("let r#match = r#loop;"),
+            vec!["let", "r#match", "r#loop"]
+        );
+        // Raw *strings* still win over raw identifiers…
+        let (toks, _) = lex(r###"let s = r#"text"#;"###);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Str(s) if s == "text")));
+        // …and a bare `r` stays an ordinary identifier.
+        assert_eq!(idents("let r = 1;"), vec!["let", "r"]);
+    }
+
+    #[test]
+    fn floats_and_ranges_disambiguate() {
+        let kinds = |src: &str| -> Vec<Tok> { lex(src).0.into_iter().map(|t| t.kind).collect() };
+        // One Num per float, exponent sign included.
+        assert_eq!(kinds("1.5"), vec![Tok::Num]);
+        assert_eq!(kinds("1e-3"), vec![Tok::Num]);
+        assert_eq!(kinds("2.5E+7"), vec![Tok::Num]);
+        assert_eq!(kinds("1_000.25"), vec![Tok::Num]);
+        // A range keeps both dots as punctuation.
+        assert_eq!(
+            kinds("1..2"),
+            vec![Tok::Num, Tok::Punct('.'), Tok::Punct('.'), Tok::Num]
+        );
+        assert_eq!(
+            kinds("0..=10"),
+            vec![
+                Tok::Num,
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Punct('='),
+                Tok::Num
+            ]
+        );
+        // Hex literals never absorb an exponent-looking suffix.
+        assert_eq!(kinds("0x1e-3"), vec![Tok::Num, Tok::Punct('-'), Tok::Num]);
+        // Method call on a float: the receiver stays one Num token.
+        assert_eq!(
+            kinds("0.5.max(x)"),
+            vec![
+                Tok::Num,
+                Tok::Punct('.'),
+                Tok::Ident("max".into()),
+                Tok::Punct('('),
+                Tok::Ident("x".into()),
+                Tok::Punct(')')
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_generic_close_stays_two_tokens() {
+        // `>>` must close two generic depths, not lex as a shift token.
+        let (toks, _) = lex("let m: BTreeMap<String, Vec<Vec<f64>>> = x;");
+        let closes = toks.iter().filter(|t| t.kind == Tok::Punct('>')).count();
+        assert_eq!(closes, 3);
+        // Depth bookkeeping over the token stream balances to zero.
+        let mut depth = 0i32;
+        for t in &toks {
+            match t.kind {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! pluggable rule set ([`rules`]) producing rich diagnostics with
 //! file:line:col positions, source snippets, and docs links.
 //!
+//! Since v2 the engine is *interprocedural*: a lightweight parser
+//! ([`parser`]) recovers items, call expressions, and branch structure,
+//! and a workspace-wide call graph ([`callgraph`]) with receiver-type
+//! heuristic resolution lets rules reason about **reachability** of
+//! hazards, not just tokens.
+//!
 //! Rules (see `docs/ANALYSIS.md` for rationale):
 //!
 //! | rule | invariant |
@@ -18,6 +24,10 @@
 //! | `unwrap-in-lib` | no `unwrap()`/`panic!` without a documented invariant |
 //! | `env-var-registry` | every env read names a registered knob |
 //! | `lock-discipline` | no lock acquisition-order cycles in cgnn-comm |
+//! | `collective-divergence` | no collective reachable under a rank-conditioned branch |
+//! | `blocking-in-overlap-window` | no blocking comm between `begin` and `finish` |
+//! | `hotpath-reachability` | no per-call allocation reachable from hot-path code |
+//! | `panic-reachability` | public API reaching a panic documents `# Panics` |
 //!
 //! False positives are silenced *per site* with
 //! `// detlint: allow(<rule>, "<reason>")` — the reason is mandatory, so
@@ -26,8 +36,10 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod context;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use std::fs;
@@ -36,6 +48,7 @@ use std::path::{Path, PathBuf};
 
 use serde_json::Value;
 
+pub use callgraph::{CallGraph, Workspace};
 use context::{FileContext, FileKind};
 pub use rules::{Config, Finding};
 
@@ -77,6 +90,14 @@ pub struct Report {
 }
 
 impl Report {
+    /// Keep only diagnostics whose path is in `keep`, for
+    /// `--changed-only` mode. The full workspace is still *analyzed*
+    /// (so the call graph stays sound); this filters what is reported.
+    /// `files_scanned` is unchanged — it counts analysis, not output.
+    pub fn retain_paths(&mut self, keep: &std::collections::BTreeSet<String>) {
+        self.diagnostics.retain(|d| keep.contains(&d.path));
+    }
+
     /// Render the report as a JSON value tree (stable field order).
     pub fn to_json(&self) -> Value {
         Value::Object(vec![
@@ -160,22 +181,47 @@ impl Engine {
     }
 
     /// Analyze one already-loaded file, returning rendered diagnostics
-    /// (suppressions applied). Used by the engine walker and directly by
-    /// the fixture tests.
+    /// (suppressions applied). The file forms a one-file workspace, so
+    /// the interprocedural rules run over its local call graph.
     pub fn analyze_source(&self, path: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
-        let ctx = FileContext::new(path, kind, src);
+        self.analyze_sources(&[(path.to_string(), kind, src.to_string())])
+    }
+
+    /// Analyze a set of already-loaded files as one workspace: per-file
+    /// rules, then the call-graph pass over all of them together. Used
+    /// directly by the fixture tests (whose interprocedural fixtures
+    /// span files) and by [`Engine::analyze_workspace`].
+    pub fn analyze_sources(&self, files: &[(String, FileKind, String)]) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileContext> = files
+            .iter()
+            .map(|(path, kind, src)| FileContext::new(path, *kind, src))
+            .collect();
+        self.run_rules(&ctxs)
+    }
+
+    /// The shared rule pipeline: per-file checks, the workspace
+    /// call-graph pass, finalizers, rendering, suppression application.
+    fn run_rules(&self, ctxs: &[FileContext]) -> Vec<Diagnostic> {
         let mut rules = rules::all_rules();
         let mut findings = Vec::new();
+        for ctx in ctxs {
+            for r in rules.iter_mut() {
+                r.check(ctx, &self.cfg, &mut findings);
+            }
+        }
+        let ws = Workspace::new(ctxs);
         for r in rules.iter_mut() {
-            r.check(&ctx, &self.cfg, &mut findings);
+            r.check_workspace(&ws, &self.cfg, &mut findings);
         }
         for r in rules.iter_mut() {
             r.finalize(&self.cfg, &mut findings);
         }
-        let mut out = render(findings, |_| Some(&ctx));
-        out.extend(bad_suppression_diags(&ctx));
-        sort_diags(&mut out);
-        out
+        let mut diagnostics = render(findings, |p| ctxs.iter().find(|c| c.path == p));
+        for ctx in ctxs {
+            diagnostics.extend(bad_suppression_diags(ctx));
+        }
+        sort_diags(&mut diagnostics);
+        diagnostics
     }
 
     /// Walk the workspace at `root`, analyze every `.rs` file outside
@@ -198,22 +244,7 @@ impl Engine {
             ctxs.push(FileContext::new(&rel, kind, &src));
         }
 
-        let mut rules = rules::all_rules();
-        let mut findings = Vec::new();
-        for ctx in &ctxs {
-            for r in rules.iter_mut() {
-                r.check(ctx, &self.cfg, &mut findings);
-            }
-        }
-        for r in rules.iter_mut() {
-            r.finalize(&self.cfg, &mut findings);
-        }
-
-        let mut diagnostics = render(findings, |p| ctxs.iter().find(|c| c.path == p));
-        for ctx in &ctxs {
-            diagnostics.extend(bad_suppression_diags(ctx));
-        }
-        sort_diags(&mut diagnostics);
+        let diagnostics = self.run_rules(&ctxs);
         Ok(Report {
             diagnostics,
             files_scanned: ctxs.len(),

@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! cargo run -p cgnn-analyze -- --workspace [--deny] [--json] [--root <path>]
+//!                              [--changed-only [--changed-base <ref>]]
 //! ```
 //!
 //! Human mode prints one rich diagnostic per finding plus a summary line;
 //! `--json` prints a machine-readable report. With `--deny`, any finding
-//! makes the process exit 1 (the CI gate).
+//! makes the process exit 1 (the CI gate). `--changed-only` still scans
+//! the whole workspace (the interprocedural rules need the full call
+//! graph) but reports only diagnostics in files that differ from
+//! `--changed-base` (default `HEAD`) or are untracked.
 
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cgnn_analyze::{Config, Engine};
@@ -17,15 +22,50 @@ fn usage() -> &'static str {
     "detlint — determinism & hot-path lints for the cgnn workspace\n\
      \n\
      USAGE: cgnn-analyze --workspace [--deny] [--json] [--root <path>]\n\
+     \u{20}                           [--changed-only [--changed-base <ref>]]\n\
      \n\
      OPTIONS:\n\
-       --workspace    scan every crate in the workspace (required)\n\
-       --deny         exit nonzero when any diagnostic is produced\n\
-       --json         emit the report as JSON instead of human text\n\
-       --root <path>  workspace root (default: the checkout containing\n\
-                      this crate, via CARGO_MANIFEST_DIR)\n\
+       --workspace           scan every crate in the workspace (required)\n\
+       --deny                exit nonzero when any diagnostic is produced\n\
+       --json                emit the report as JSON instead of human text\n\
+       --root <path>         workspace root (default: the checkout containing\n\
+                             this crate, via CARGO_MANIFEST_DIR)\n\
+       --changed-only        report only diagnostics in files changed vs the\n\
+                             base ref (plus untracked files); the full\n\
+                             workspace is still analyzed so call-graph rules\n\
+                             stay sound. Falls back to the full report when\n\
+                             git is unavailable.\n\
+       --changed-base <ref>  base ref for --changed-only (default: HEAD)\n\
      \n\
      Rules and suppression syntax: docs/ANALYSIS.md"
+}
+
+/// Files changed relative to `base`, plus untracked files, as paths
+/// relative to `root` with forward slashes — the same shape diagnostics
+/// carry. `None` when git can't answer (not a repo, no git binary).
+fn changed_paths(root: &Path, base: &str) -> Option<BTreeSet<String>> {
+    let mut keep = BTreeSet::new();
+    for extra_args in [
+        vec!["diff", "--name-only", base],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(&extra_args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                keep.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Some(keep)
 }
 
 fn main() -> ExitCode {
@@ -33,6 +73,8 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut changed_only = false;
+    let mut changed_base = String::from("HEAD");
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +82,14 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--deny" => deny = true,
             "--json" => json = true,
+            "--changed-only" => changed_only = true,
+            "--changed-base" => match args.next() {
+                Some(r) => changed_base = r,
+                None => {
+                    eprintln!("error: --changed-base requires a git ref\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -71,13 +121,23 @@ fn main() -> ExitCode {
     });
 
     let mut engine = Engine::new(Config::default());
-    let report = match engine.analyze_workspace(&root) {
+    let mut report = match engine.analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if changed_only {
+        match changed_paths(&root, &changed_base) {
+            Some(keep) => report.retain_paths(&keep),
+            None => eprintln!(
+                "warning: --changed-only: git diff against `{changed_base}` \
+                 failed; reporting the full workspace"
+            ),
+        }
+    }
 
     if json {
         match serde_json::to_string_pretty(&report.to_json()) {

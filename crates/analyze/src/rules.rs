@@ -10,8 +10,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::Workspace;
 use crate::context::{ident_of, is_ident, is_punct, FileContext, FileKind};
 use crate::lexer::{Tok, Token};
+use crate::parser::FnInfo;
 
 /// Engine configuration: which files play which role, and the env-var
 /// registry contents.
@@ -34,6 +36,18 @@ pub struct Config {
     pub registered_env: BTreeSet<String>,
     /// Names exempt from registration (cargo/tooling variables).
     pub env_allowlist: BTreeSet<String>,
+    /// Method names that are collectives: every rank must execute the
+    /// same sequence of these, so reaching one under a rank-conditioned
+    /// branch is a cross-rank deadlock hazard (`collective-divergence`).
+    pub collectives: BTreeSet<String>,
+    /// Method names that block on communication (collectives plus
+    /// blocking point-to-point and request waits) — forbidden inside the
+    /// halo overlap window (`blocking-in-overlap-window`).
+    pub blocking_comm: BTreeSet<String>,
+    /// Path fragments of the wire layer: allocation inside these files
+    /// is the comm API's owned-buffer contract, audited separately, so
+    /// `hotpath-reachability` does not traverse into or report them.
+    pub wire_modules: Vec<String>,
 }
 
 impl Default for Config {
@@ -55,6 +69,34 @@ impl Default for Config {
             registry_files: vec!["crates/core/src/config.rs".into()],
             registered_env: BTreeSet::new(),
             env_allowlist: ["CARGO_MANIFEST_DIR"].map(String::from).into(),
+            collectives: [
+                "barrier",
+                "all_gather",
+                "all_to_all",
+                "all_reduce",
+                "all_reduce_sum",
+                "all_reduce_max",
+                "all_reduce_scalar",
+            ]
+            .map(String::from)
+            .into(),
+            blocking_comm: [
+                "barrier",
+                "all_gather",
+                "all_to_all",
+                "all_reduce",
+                "all_reduce_sum",
+                "all_reduce_max",
+                "all_reduce_scalar",
+                "send",
+                "recv",
+                "wait",
+                "exchange",
+                "halo_exchange_apply",
+            ]
+            .map(String::from)
+            .into(),
+            wire_modules: vec!["crates/comm/src/".into()],
         }
     }
 }
@@ -75,6 +117,10 @@ impl Config {
     fn is_registry(&self, path: &str) -> bool {
         self.registry_files.iter().any(|m| path.ends_with(m))
     }
+
+    fn is_wire(&self, path: &str) -> bool {
+        self.wire_modules.iter().any(|m| path.contains(m))
+    }
 }
 
 /// One raw finding; the engine attaches snippets/docs and applies
@@ -93,14 +139,18 @@ pub struct Finding {
     pub message: String,
 }
 
-/// A detlint rule: scanned per file, finalized once after all files (for
-/// rules that aggregate cross-file state, like the lock graph).
+/// A detlint rule: scanned per file, then once over the workspace call
+/// graph, finalized after all files (for rules that aggregate cross-file
+/// state, like the lock graph).
 pub trait Rule {
     /// The rule's kebab-case name (diagnostic tag + suppression key +
     /// docs anchor).
     fn name(&self) -> &'static str;
     /// Scan one file.
     fn check(&mut self, ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>);
+    /// Scan the whole workspace with the call graph available — the hook
+    /// the interprocedural rules implement.
+    fn check_workspace(&mut self, _ws: &Workspace<'_>, _cfg: &Config, _out: &mut Vec<Finding>) {}
     /// Emit whole-workspace findings after every file was scanned.
     fn finalize(&mut self, _cfg: &Config, _out: &mut Vec<Finding>) {}
 }
@@ -115,6 +165,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnwrapInLib),
         Box::new(EnvVarRegistry),
         Box::new(LockDiscipline::default()),
+        Box::new(CollectiveDivergence),
+        Box::new(BlockingInOverlapWindow),
+        Box::new(HotpathReachability),
+        Box::new(PanicReachability),
     ]
 }
 
@@ -131,7 +185,7 @@ fn finding(rule: &'static str, ctx: &FileContext, tok: &Token, message: String) 
 /// Walk left from the token at `dot` (a `.`) to the base identifier of
 /// the receiver, skipping balanced `[...]` / `(...)` groups, e.g.
 /// `self.world.slots[self.rank]` → `slots`.
-fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
+pub(crate) fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
     let mut k = dot;
     loop {
         if k == 0 {
@@ -746,6 +800,490 @@ impl Rule for LockDiscipline {
                     }
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural rules (detlint v2): built on crate::parser +
+// crate::callgraph. Each fires on *reachability* of a hazard, so the
+// diagnostics carry the call chain that proves the claim.
+// ---------------------------------------------------------------------
+
+/// Whether a fn name marks setup-time code exempt from hot-path
+/// allocation reasoning (mirrors the `hotpath-alloc` ctor exemption).
+fn is_ctor_named(name: &str) -> bool {
+    name == "new" || name == "default" || name.starts_with("with_") || name.starts_with("from_")
+}
+
+/// Ad-hoc allocation pattern at token `i`, as a short label for
+/// messages: `Vec::new`/`Vec::with_capacity`, `vec![…]`, `.to_vec()` —
+/// the same patterns `hotpath-alloc` matches lexically.
+fn alloc_site_label(toks: &[Token], i: usize) -> Option<String> {
+    let s = ident_of(&toks[i])?;
+    match s {
+        "Vec"
+            if toks.get(i + 1).is_some_and(|a| is_punct(a, ':'))
+                && toks.get(i + 2).is_some_and(|a| is_punct(a, ':'))
+                && toks
+                    .get(i + 3)
+                    .and_then(ident_of)
+                    .is_some_and(|m| m == "new" || m == "with_capacity") =>
+        {
+            Some(format!(
+                "`Vec::{}`",
+                ident_of(&toks[i + 3]).unwrap_or_default()
+            ))
+        }
+        "vec" if toks.get(i + 1).is_some_and(|a| is_punct(a, '!')) => Some("`vec![…]`".into()),
+        "to_vec"
+            if i > 0
+                && is_punct(&toks[i - 1], '.')
+                && toks.get(i + 1).is_some_and(|a| is_punct(a, '(')) =>
+        {
+            Some("`.to_vec()`".into())
+        }
+        _ => None,
+    }
+}
+
+/// Per-node flag: does the fn directly call any method in `names`?
+fn direct_call_flags(ws: &Workspace<'_>, names: &BTreeSet<String>) -> Vec<bool> {
+    (0..ws.graph.len())
+        .map(|n| {
+            ws.fn_info(n)
+                .calls
+                .iter()
+                .any(|c| names.contains(&c.callee))
+        })
+        .collect()
+}
+
+/// First direct call in node `n` naming a method in `names`.
+fn first_named_call<'w>(
+    ws: &'w Workspace<'_>,
+    n: usize,
+    names: &BTreeSet<String>,
+) -> Option<&'w str> {
+    ws.fn_info(n)
+        .calls
+        .iter()
+        .find(|c| names.contains(&c.callee))
+        .map(|c| c.callee.as_str())
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: collective-divergence
+// ---------------------------------------------------------------------
+
+/// A collective (barrier/all_gather/all_reduce…) executed — directly or
+/// through the call graph — under a branch conditioned on the rank.
+/// Collectives are rendezvous points: if rank 0 takes the branch and
+/// rank 1 does not, rank 0 blocks forever in the collective while rank 1
+/// runs ahead (or blocks in a *different* collective — same deadlock,
+/// harder log). The consistency proof assumes every rank executes the
+/// identical collective sequence.
+struct CollectiveDivergence;
+
+impl Rule for CollectiveDivergence {
+    fn name(&self) -> &'static str {
+        "collective-divergence"
+    }
+
+    fn check(&mut self, _ctx: &FileContext, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    fn check_workspace(&mut self, ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+        let has_collective = direct_call_flags(ws, &cfg.collectives);
+        for n in 0..ws.graph.len() {
+            let ctx = ws.ctx(n);
+            let f = ws.fn_info(n);
+            for (ci, call) in f.calls.iter().enumerate() {
+                if !ctx.parsed.rank_spans.iter().any(|s| s.contains(call.tok)) {
+                    continue;
+                }
+                if cfg.collectives.contains(&call.callee) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: ctx.path.clone(),
+                        line: call.line,
+                        col: call.col,
+                        message: format!(
+                            "collective `{}` is called under a rank-conditioned branch: \
+                             ranks that skip the branch never reach the rendezvous \
+                             (cross-rank deadlock); hoist it so every rank executes the \
+                             same collective sequence",
+                            call.callee
+                        ),
+                    });
+                    continue;
+                }
+                for &t in ws.graph.targets(n, ci) {
+                    if let Some(path) = ws.graph.find_path(t, |m| has_collective[m], |_| false) {
+                        let coll = path
+                            .last()
+                            .and_then(|&m| first_named_call(ws, m, &cfg.collectives))
+                            .unwrap_or("collective");
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: ctx.path.clone(),
+                            line: call.line,
+                            col: call.col,
+                            message: format!(
+                                "`{}` is called under a rank-conditioned branch and \
+                                 reaches collective `{coll}` via `{}`: ranks that skip \
+                                 the branch never reach the rendezvous (cross-rank \
+                                 deadlock); every rank must execute the same collective \
+                                 sequence",
+                                call.callee,
+                                ws.chain(&path),
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 9: blocking-in-overlap-window
+// ---------------------------------------------------------------------
+
+/// Blocking communication between `HaloExchange::begin` and
+/// `PendingExchange::finish`. The Ovl-SR overlap window exists to hide
+/// the halo exchange behind interior compute; a blocking collective,
+/// send/recv, or request wait inside the window serializes exactly the
+/// latency the split-phase API was built to hide — silently, since the
+/// result stays correct.
+struct BlockingInOverlapWindow;
+
+/// The binding a `… = x.begin(…)` result is stored into: the ident
+/// before the `=` (or the last ident inside a `Some(pending)`-style
+/// pattern). `None` when the result is chained or discarded.
+fn begin_binding(toks: &[Token], begin_tok: usize, stmt_floor: usize) -> Option<String> {
+    let mut k = begin_tok;
+    while k > stmt_floor {
+        k -= 1;
+        match &toks[k].kind {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return None,
+            Tok::Punct('=') => {
+                let before = k.checked_sub(1)?;
+                if let Some(name) = ident_of(&toks[before]) {
+                    // Exclude `==`/`!=`/`<=`/`>=` comparisons.
+                    if matches!(toks[k - 1].kind, Tok::Punct('=' | '!' | '<' | '>')) {
+                        continue;
+                    }
+                    return Some(name.to_string());
+                }
+                if is_punct(&toks[before], ')') {
+                    // `let Some(pending) = …`: last ident inside parens.
+                    let mut depth = 1usize;
+                    let mut j = before;
+                    let mut last = None;
+                    while j > stmt_floor && depth > 0 {
+                        j -= 1;
+                        match &toks[j].kind {
+                            Tok::Punct(')') => depth += 1,
+                            Tok::Punct('(') => depth -= 1,
+                            Tok::Ident(s) if last.is_none() => last = Some(s.clone()),
+                            _ => {}
+                        }
+                    }
+                    return last;
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Overlap windows inside fn `f`: `(open_tok, close_tok)` pairs. A
+/// window opens after a `begin(…)` call (or at body start when the fn
+/// receives a `PendingExchange` parameter — the delegated half of a
+/// split window) and closes at the first use of the pending binding, or
+/// at the `finish(…)` call when the result is chained.
+fn overlap_windows(ctx: &FileContext, f: &FnInfo) -> Vec<(usize, usize)> {
+    let toks = &ctx.tokens;
+    let mut windows = Vec::new();
+    let close_at = |binding: Option<&str>, open: usize| -> usize {
+        if let Some(b) = binding {
+            for (j, t) in toks
+                .iter()
+                .enumerate()
+                .take(f.span.end.min(toks.len()))
+                .skip(open + 1)
+            {
+                if is_ident(t, b) {
+                    return j;
+                }
+            }
+        }
+        f.calls
+            .iter()
+            .find(|c| c.callee == "finish" && c.tok > open)
+            .map(|c| c.tok)
+            .unwrap_or(f.span.end)
+    };
+    for call in &f.calls {
+        if call.callee != "begin" {
+            continue;
+        }
+        let binding = begin_binding(toks, call.tok, f.body.start.max(f.span.start));
+        let open = call.args.end; // the `)` — the exchange is in flight after it
+        windows.push((open, close_at(binding.as_deref(), open)));
+    }
+    // Delegated window: a `PendingExchange`-typed parameter means this fn
+    // owns an in-flight exchange from its first token.
+    for p in f.params.start..f.params.end.min(toks.len()) {
+        if !is_ident(&toks[p], "PendingExchange") {
+            continue;
+        }
+        // The parameter name is the ident before the single `:` that
+        // precedes the type path (`pending: crate::…::PendingExchange`).
+        let mut k = p;
+        let mut binding = None;
+        while k > f.params.start {
+            k -= 1;
+            if is_punct(&toks[k], ':') {
+                if k > 0 && is_punct(&toks[k - 1], ':') {
+                    k -= 1; // `::` path separator
+                    continue;
+                }
+                binding = k.checked_sub(1).and_then(|b| ident_of(&toks[b]));
+                break;
+            }
+        }
+        if let Some(b) = binding {
+            windows.push((f.body.start, close_at(Some(b), f.body.start)));
+        }
+        break;
+    }
+    windows
+}
+
+impl Rule for BlockingInOverlapWindow {
+    fn name(&self) -> &'static str {
+        "blocking-in-overlap-window"
+    }
+
+    fn check(&mut self, _ctx: &FileContext, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    fn check_workspace(&mut self, ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+        let has_blocking = direct_call_flags(ws, &cfg.blocking_comm);
+        for n in 0..ws.graph.len() {
+            let ctx = ws.ctx(n);
+            let f = ws.fn_info(n);
+            for (open, close) in overlap_windows(ctx, f) {
+                for (ci, call) in f.calls.iter().enumerate() {
+                    if call.tok <= open || call.tok >= close {
+                        continue;
+                    }
+                    if call.callee == "begin" || call.callee == "finish" {
+                        continue;
+                    }
+                    // The call the pending value is handed to closes the
+                    // window by delegation, it does not sit inside it.
+                    if call.args.contains(close) {
+                        continue;
+                    }
+                    if cfg.blocking_comm.contains(&call.callee) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: ctx.path.clone(),
+                            line: call.line,
+                            col: call.col,
+                            message: format!(
+                                "blocking `{}` inside the halo overlap window (after \
+                                 `begin`, before `finish`): it stalls the compute that \
+                                 is supposed to hide the exchange; move it out of the \
+                                 window or use the nonblocking variant",
+                                call.callee
+                            ),
+                        });
+                        continue;
+                    }
+                    for &t in ws.graph.targets(n, ci) {
+                        if let Some(path) = ws.graph.find_path(t, |m| has_blocking[m], |_| false) {
+                            let what = path
+                                .last()
+                                .and_then(|&m| first_named_call(ws, m, &cfg.blocking_comm))
+                                .unwrap_or("blocking comm");
+                            out.push(Finding {
+                                rule: self.name(),
+                                path: ctx.path.clone(),
+                                line: call.line,
+                                col: call.col,
+                                message: format!(
+                                    "`{}` reaches blocking `{what}` via `{}` inside the \
+                                     halo overlap window (after `begin`, before \
+                                     `finish`); keep the window free of blocking comm \
+                                     so the exchange stays hidden",
+                                    call.callee,
+                                    ws.chain(&path),
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 10: hotpath-reachability
+// ---------------------------------------------------------------------
+
+/// `hotpath-alloc`, propagated through the call graph: helpers in
+/// NON-hot files that allocate per call are flagged when they are
+/// reachable from hot-module code — the file-path allowlist stops being
+/// a loophole ("move the alloc into a helper one file over"). The wire
+/// layer (`crates/comm`) and the audited kernels are boundaries: the
+/// comm API's owned-`Vec` contract is audited separately.
+struct HotpathReachability;
+
+impl Rule for HotpathReachability {
+    fn name(&self) -> &'static str {
+        "hotpath-reachability"
+    }
+
+    fn check(&mut self, _ctx: &FileContext, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    fn check_workspace(&mut self, ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+        let entries: Vec<usize> = (0..ws.graph.len())
+            .filter(|&n| cfg.is_hot(&ws.ctx(n).path) && !is_ctor_named(&ws.fn_info(n).name))
+            .collect();
+        let reached = ws.graph.reach_from(&entries, |n| {
+            let p = &ws.ctx(n).path;
+            is_ctor_named(&ws.fn_info(n).name) || cfg.is_kernel(p) || cfg.is_wire(p)
+        });
+        for &n in reached.keys() {
+            let ctx = ws.ctx(n);
+            let f = ws.fn_info(n);
+            let p = &ctx.path;
+            if cfg.is_hot(p)
+                || cfg.is_kernel(p)
+                || cfg.is_wire(p)
+                || is_ctor_named(&f.name)
+                || ctx.kind != FileKind::Lib
+            {
+                continue;
+            }
+            // Reconstruct one hot entry → n chain from the BFS parents.
+            let mut chain = vec![n];
+            let mut cur = n;
+            while let Some(&Some(parent)) = reached.get(&cur) {
+                chain.push(parent);
+                cur = parent;
+            }
+            chain.reverse();
+            for i in f.span.start..f.span.end.min(ctx.tokens.len()) {
+                let Some(label) = alloc_site_label(&ctx.tokens, i) else {
+                    continue;
+                };
+                out.push(Finding {
+                    rule: self.name(),
+                    path: ctx.path.clone(),
+                    line: ctx.tokens[i].line,
+                    col: ctx.tokens[i].col,
+                    message: format!(
+                        "{label} allocates per call in `{}`, which hot-path code \
+                         reaches via `{}`: the steady-state step is designed to \
+                         allocate nothing; pool the buffer or suppress with the \
+                         ownership story",
+                        ws.label(n),
+                        ws.chain(&chain),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 11: panic-reachability
+// ---------------------------------------------------------------------
+
+/// A public library fn whose call graph (within its own crate) reaches a
+/// `panic!`/`.unwrap()` site in a fn that does not document a `# Panics`
+/// section. Callers of public API deserve to know the abort contract;
+/// either the panic frontier documents itself (`# Panics` makes the fn
+/// opaque to this rule) or the path should return a typed error.
+/// `.expect(…)` is deliberately not a target: `unwrap-in-lib` already
+/// forces its message to state the invariant.
+struct PanicReachability;
+
+/// The crate a workspace path belongs to (`crates/comm/…` → `crates/comm`).
+fn crate_of(path: &str) -> &str {
+    let mut seps = 0usize;
+    let prefix_len = if path.starts_with("crates/") { 2 } else { 1 };
+    for (i, c) in path.char_indices() {
+        if c == '/' {
+            seps += 1;
+            if seps == prefix_len {
+                return &path[..i];
+            }
+        }
+    }
+    path
+}
+
+impl Rule for PanicReachability {
+    fn name(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn check(&mut self, _ctx: &FileContext, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    fn check_workspace(&mut self, ws: &Workspace<'_>, _cfg: &Config, out: &mut Vec<Finding>) {
+        let undocumented_panic: Vec<bool> = (0..ws.graph.len())
+            .map(|n| {
+                let f = ws.fn_info(n);
+                !f.panics.is_empty() && !f.doc_has_panics
+            })
+            .collect();
+        for n in 0..ws.graph.len() {
+            let ctx = ws.ctx(n);
+            let f = ws.fn_info(n);
+            if !f.is_pub || ctx.kind != FileKind::Lib || f.doc_has_panics {
+                continue;
+            }
+            let home = crate_of(&ctx.path);
+            // Documented fns are opaque: their `# Panics` section owns
+            // everything below them. Other crates own their own contracts.
+            let hit = ws.graph.find_path(
+                n,
+                |m| undocumented_panic[m] && crate_of(&ws.ctx(m).path) == home,
+                |m| ws.fn_info(m).doc_has_panics || crate_of(&ws.ctx(m).path) != home,
+            );
+            let Some(path) = hit else { continue };
+            let target = *path.last().unwrap_or(&n);
+            let site = &ws.fn_info(target).panics[0];
+            let fn_tok = &ctx.tokens[f.span.start];
+            let via = if path.len() > 1 {
+                format!(" via `{}`", ws.chain(&path))
+            } else {
+                String::new()
+            };
+            out.push(Finding {
+                rule: self.name(),
+                path: ctx.path.clone(),
+                line: fn_tok.line,
+                col: fn_tok.col,
+                message: format!(
+                    "pub fn `{}` can reach {} ({}:{}){via}, but its docs have no \
+                     `# Panics` section: document the abort contract at the panic \
+                     frontier or return a typed error",
+                    ws.label(n),
+                    site.what,
+                    ws.ctx(target).path,
+                    site.line,
+                ),
+            });
         }
     }
 }

@@ -7,29 +7,41 @@ use std::path::{Path, PathBuf};
 use cgnn_analyze::context::FileKind;
 use cgnn_analyze::{Config, Engine, Report};
 
-/// Fixture files under `tests/fixtures/`, scanned with [`FileKind::Lib`]
-/// and [`fixture_config`]. Every rule has a positive (must fire) and a
-/// suppressed negative (must not).
-const FIXTURES: &[&str] = &[
-    "atomic_in_kernel.rs",
-    "bad_suppression.rs",
-    "env_var_registry.rs",
-    "float_reduction_order.rs",
-    "hotpath_alloc.rs",
-    "lock_discipline.rs",
-    "nondet_iteration.rs",
-    "unwrap_in_lib.rs",
+/// Fixture groups under `tests/fixtures/`, scanned with
+/// [`FileKind::Lib`] and [`fixture_config`]. Each group is analyzed as
+/// one mini-workspace (its files share a call graph; groups are
+/// isolated from each other so names never resolve across fixtures).
+/// Every rule has a positive (must fire) and a suppressed negative
+/// (must not). `hotpath-reachability` needs two files: the hot entry
+/// and the helper it reaches live a file apart by construction.
+const FIXTURE_GROUPS: &[&[&str]] = &[
+    &["atomic_in_kernel.rs"],
+    &["bad_suppression.rs"],
+    &["blocking_in_overlap_window.rs"],
+    &["collective_divergence.rs"],
+    &["env_var_registry.rs"],
+    &["float_reduction_order.rs"],
+    &["hotpath_alloc.rs"],
+    &["hotpath_reachability.rs", "hotpath_reachability_hot.rs"],
+    &["lock_discipline.rs"],
+    &["nondet_iteration.rs"],
+    &["panic_reachability.rs"],
+    &["unwrap_in_lib.rs"],
 ];
 
 /// Map fixture basenames into the roles the path-scoped rules look for.
 fn fixture_config() -> Config {
     Config {
         kernel_modules: vec!["atomic_in_kernel.rs".into()],
-        hot_modules: vec!["hotpath_alloc.rs".into()],
+        hot_modules: vec![
+            "hotpath_alloc.rs".into(),
+            "hotpath_reachability_hot.rs".into(),
+        ],
         lock_modules: vec!["lock_discipline.rs".into()],
         registry_files: vec![],
         registered_env: ["CGNN_REGISTERED"].map(String::from).into(),
         env_allowlist: ["CARGO_MANIFEST_DIR"].map(String::from).into(),
+        ..Config::default()
     }
 }
 
@@ -40,16 +52,24 @@ fn fixture_dir() -> PathBuf {
 fn fixture_report() -> Report {
     let engine = Engine::new(fixture_config());
     let mut diagnostics = Vec::new();
-    for name in FIXTURES {
-        let src = std::fs::read_to_string(fixture_dir().join(name))
-            .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
-        diagnostics.extend(engine.analyze_source(name, FileKind::Lib, &src));
+    let mut files_scanned = 0usize;
+    for group in FIXTURE_GROUPS {
+        let files: Vec<(String, FileKind, String)> = group
+            .iter()
+            .map(|name| {
+                let src = std::fs::read_to_string(fixture_dir().join(name))
+                    .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
+                (name.to_string(), FileKind::Lib, src)
+            })
+            .collect();
+        files_scanned += files.len();
+        diagnostics.extend(engine.analyze_sources(&files));
     }
     diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
     Report {
         diagnostics,
-        files_scanned: FIXTURES.len(),
+        files_scanned,
     }
 }
 
@@ -90,11 +110,36 @@ fn every_rule_fires_on_its_fixture() {
         "unwrap-in-lib",
         "env-var-registry",
         "lock-discipline",
+        "collective-divergence",
+        "blocking-in-overlap-window",
+        "hotpath-reachability",
+        "panic-reachability",
         "suppression-syntax",
     ] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "rule `{rule}` produced no fixture diagnostics"
+        );
+    }
+}
+
+/// The interprocedural positives must carry their proof: a diagnostic
+/// that claims reachability without the chain is unreviewable.
+#[test]
+fn interprocedural_diagnostics_carry_chains() {
+    let report = fixture_report();
+    for (rule, via) in [
+        ("collective-divergence", "write_and_sync"),
+        ("blocking-in-overlap-window", "drain_stragglers"),
+        ("hotpath-reachability", "step_epoch → refresh_buffers"),
+        ("panic-reachability", "lookup → deep_get"),
+    ] {
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == rule && d.message.contains(via)),
+            "rule `{rule}` produced no diagnostic whose chain mentions `{via}`"
         );
     }
 }
@@ -119,6 +164,29 @@ fn suppressed_negatives_stay_quiet() {
     }
 }
 
+/// Every registered rule has a matching `### <rule>` anchor in
+/// docs/ANALYSIS.md (the `docs:` line under each diagnostic links
+/// there), and so does the suppression pseudo-rule.
+#[test]
+fn every_rule_has_a_docs_anchor() {
+    let docs_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/ANALYSIS.md");
+    let docs = std::fs::read_to_string(&docs_path)
+        .unwrap_or_else(|e| panic!("docs/ANALYSIS.md must be readable: {e}"));
+    for rule in cgnn_analyze::rules::all_rules() {
+        let name = rule.name();
+        assert!(
+            docs.contains(&format!("### {name}")),
+            "docs/ANALYSIS.md has no `### {name}` section; every rule's \
+             `docs:` link must resolve to a written rationale"
+        );
+    }
+    // The suppression pseudo-rule links to the `## Suppressions` heading.
+    assert!(
+        docs.contains("## Suppressions"),
+        "docs/ANALYSIS.md has no `## Suppressions` section"
+    );
+}
+
 /// The meta-test: the live workspace must be clean, i.e.
 /// `cargo run -p cgnn-analyze -- --workspace --deny` exits 0.
 #[test]
@@ -135,4 +203,24 @@ fn workspace_is_clean_under_deny() {
         "the workspace must stay detlint-clean:\n{}",
         rendered.join("\n")
     );
+}
+
+/// `Report::retain_paths` filters what is *reported* without touching
+/// `files_scanned` — the contract `--changed-only` depends on.
+#[test]
+fn retain_paths_filters_report_only() {
+    let mut report = fixture_report();
+    let total = report.diagnostics.len();
+    let scanned = report.files_scanned;
+    assert!(total > 0, "fixtures must produce diagnostics");
+    let keep: std::collections::BTreeSet<String> =
+        ["unwrap_in_lib.rs".to_string()].into_iter().collect();
+    report.retain_paths(&keep);
+    assert!(report.diagnostics.len() < total);
+    assert!(!report.diagnostics.is_empty());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.path == "unwrap_in_lib.rs"));
+    assert_eq!(report.files_scanned, scanned);
 }

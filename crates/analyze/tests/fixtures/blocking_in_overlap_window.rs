@@ -1,0 +1,73 @@
+// Fixture: blocking-in-overlap-window. Not compiled — scanned by
+// detlint's golden tests only. Mocks the split-phase halo exchange:
+// `begin` opens the overlap window, first use of the pending binding
+// (its `finish`) closes it.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn barrier(&self) {}
+    pub fn recv(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+pub struct PendingExchange;
+
+impl PendingExchange {
+    pub fn finish(self, _out: &mut [f64]) {}
+}
+
+pub struct Strategy;
+
+impl Strategy {
+    pub fn begin(&self, _comm: &Comm) -> PendingExchange {
+        PendingExchange
+    }
+}
+
+fn compute_interior(_out: &mut [f64]) {}
+
+fn drain_stragglers(comm: &Comm) {
+    let _ = comm.recv();
+}
+
+// POSITIVE: a blocking collective sits squarely inside the window,
+// serializing the latency the overlap exists to hide.
+pub fn overlapped_update(strategy: &Strategy, comm: &Comm, out: &mut [f64]) {
+    let pending = strategy.begin(comm);
+    comm.barrier();
+    compute_interior(out);
+    pending.finish(out);
+}
+
+// POSITIVE (transitive): the blocking receive hides one call down; the
+// diagnostic must carry the chain.
+pub fn overlapped_drain(strategy: &Strategy, comm: &Comm, out: &mut [f64]) {
+    let pending = strategy.begin(comm);
+    drain_stragglers(comm);
+    pending.finish(out);
+}
+
+// POSITIVE (delegated window): a `PendingExchange` parameter means this
+// fn owns an in-flight exchange from its first statement.
+pub fn finish_after_sync(pending: PendingExchange, comm: &Comm, out: &mut [f64]) {
+    comm.barrier();
+    pending.finish(out);
+}
+
+// NEGATIVE: only interior compute between begin and finish — the
+// pattern the window is for.
+pub fn overlapped_clean(strategy: &Strategy, comm: &Comm, out: &mut [f64]) {
+    let pending = strategy.begin(comm);
+    compute_interior(out);
+    pending.finish(out);
+}
+
+// NEGATIVE (suppressed): an audited probe that polls without blocking.
+pub fn overlapped_probe(strategy: &Strategy, comm: &Comm, out: &mut [f64]) {
+    let pending = strategy.begin(comm);
+    // detlint: allow(blocking-in-overlap-window, "audited: the straggler probe polls a ready flag and never blocks this rank")
+    drain_stragglers(comm);
+    pending.finish(out);
+}

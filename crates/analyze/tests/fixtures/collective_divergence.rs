@@ -1,0 +1,54 @@
+// Fixture: collective-divergence. Not compiled — scanned by detlint's
+// golden tests only. The Comm mock gives the call graph real nodes so
+// the transitive positive proves its chain.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        0
+    }
+    pub fn barrier(&self) {}
+    pub fn all_reduce_sum(&self, xs: Vec<f64>) -> Vec<f64> {
+        xs
+    }
+}
+
+// POSITIVE: a collective directly under a rank-conditioned branch —
+// ranks that skip the branch never reach the rendezvous.
+pub fn checkpoint(comm: &Comm) {
+    if comm.rank() == 0 {
+        comm.barrier();
+    }
+}
+
+// POSITIVE (transitive): the collective is a call away; the diagnostic
+// must carry the chain that proves reachability.
+pub fn checkpoint_then_sync(comm: &Comm) {
+    if comm.rank() == 0 {
+        write_and_sync(comm);
+    }
+}
+
+fn write_and_sync(comm: &Comm) {
+    flush_manifest();
+    comm.barrier();
+}
+
+fn flush_manifest() {}
+
+// NEGATIVE: rank-conditioned work that reaches no collective.
+pub fn log_on_root(comm: &Comm) {
+    if comm.rank() == 0 {
+        flush_manifest();
+    }
+}
+
+// NEGATIVE (suppressed): a deliberate rank-gated rendezvous with the
+// matching collective audited on the peer side.
+pub fn audited_sync(comm: &Comm) {
+    if comm.rank() == 0 {
+        // detlint: allow(collective-divergence, "audited: peer ranks issue the matching barrier in their own rank-gated arm")
+        comm.barrier();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: hotpath-reachability, hot half. The test config lists THIS
+// file in `hot_modules`; its fns are the reachability entry points. The
+// allocations live one file over, in `hotpath_reachability.rs` — the
+// loophole the interprocedural rule closes.
+
+pub fn step_epoch(state: &mut Vec<f64>) {
+    let scratch = reserve_scratch(state.len());
+    refresh_buffers(state);
+    drop(scratch);
+}

@@ -1,6 +1,10 @@
 // Fixture: unwrap-in-lib. Not compiled — scanned by detlint's golden
 // tests only.
 
+/// # Panics
+///
+/// Documented abort, so panic-reachability stays quiet here and the
+/// diagnostics below belong to unwrap-in-lib alone.
 pub fn positive(x: Option<u32>) -> u32 {
     let a = x.unwrap();
     if a > 100 {
@@ -14,6 +18,9 @@ pub fn documented(x: Option<u32>) -> u32 {
     x.expect("caller guarantees Some: the id was validated at parse time")
 }
 
+/// # Panics
+///
+/// Documented abort (see `positive` above for why).
 pub fn suppressed(x: Option<u32>) -> u32 {
     // detlint: allow(unwrap-in-lib, "fixture: demo of a reasoned suppression on a deliberate abort")
     x.unwrap()

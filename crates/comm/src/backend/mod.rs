@@ -249,8 +249,12 @@ impl Backend {
 
     /// The backend named by the `CGNN_BACKEND` environment variable
     /// (`"threads"` or `"serial"`, case-insensitive), defaulting to
-    /// [`Backend::Threads`] when unset or empty. Unknown values panic
-    /// loudly rather than silently testing the wrong transport.
+    /// [`Backend::Threads`] when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// On any other value: config errors at startup fail loudly rather
+    /// than silently testing the wrong transport.
     pub fn from_env() -> Backend {
         match std::env::var("CGNN_BACKEND") {
             Err(_) => Backend::Threads,

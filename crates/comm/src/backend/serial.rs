@@ -109,6 +109,12 @@ impl SerialRank {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// # Panics
+    ///
+    /// Aborts this rank when a peer has already panicked or the deadlock
+    /// supervisor poisoned the world: continuing would block forever on
+    /// a collective that can never complete. Every blocking comm entry
+    /// point inherits this abort contract.
     fn check_poison(st: &State) {
         if st.poisoned {
             // detlint: allow(unwrap-in-lib, "deliberate abort: continuing after a peer died would hang this rank forever")
@@ -129,6 +135,12 @@ impl SerialRank {
 
     /// Hand the baton to the next live rank. Called while blocked, so it
     /// also feeds the deadlock supervisor.
+    ///
+    /// # Panics
+    ///
+    /// When every live rank has been blocked for a full supervision
+    /// window (mismatched collective schedules, or a receive whose send
+    /// never comes): panicking is the mechanism that unwedges the run.
     fn yield_turn(&self, st: &mut State) {
         st.idle_passes += 1;
         if st.idle_passes > 4 * self.world.size + 16 {

@@ -40,6 +40,11 @@ impl ElementOps {
 
     /// Apply the reference-space derivative along axis `axis` to the local
     /// field `u` (`n^3` values), writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// If `axis >= 3`. Callers iterate the fixed `0..3` axes; a typed
+    /// error would force fallible signatures through every kernel.
     pub fn apply_d(&self, axis: usize, u: &[f64], out: &mut [f64]) {
         let n = self.n;
         debug_assert_eq!(u.len(), n * n * n);
@@ -92,6 +97,11 @@ impl ElementOps {
 
     /// Apply the transpose derivative along `axis` and *accumulate* into
     /// `out` (the `D^T W` half of the weak Laplacian).
+    ///
+    /// # Panics
+    ///
+    /// If `axis >= 3`. Callers iterate the fixed `0..3` axes; a typed
+    /// error would force fallible signatures through every kernel.
     pub fn apply_dt_accumulate(&self, axis: usize, u: &[f64], out: &mut [f64]) {
         let n = self.n;
         match axis {

@@ -1029,6 +1029,12 @@ fn accumulate(
 /// row-mask mechanism. Every row's arithmetic is exactly the full kernel's
 /// row computation, so a value assembled from any partition of its rows is
 /// bit-identical to the monolithically computed one.
+///
+/// # Panics
+///
+/// If the node's op is not row-separable: recording under a row mask is
+/// only legal for ops whose rows compute independently, and reaching
+/// here with any other op is a programming error in the op registry.
 fn compute_node_rows(parents: &[Node], node: &mut Node, rows: &[usize]) {
     let Node { value, op } = node;
     match &*op {
