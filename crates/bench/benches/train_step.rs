@@ -2,7 +2,7 @@
 //! (forward, consistent loss, backward, fused DDP all-reduce, Adam) whose
 //! throughput `BENCH_hotpath.json` tracks.
 //!
-//! Runs single-rank on a loopback communicator so the trainer lives on the
+//! Runs single-rank on the [`LoopbackBackend`] so the trainer lives on the
 //! benchmark thread and Criterion's timing loop wraps the real
 //! [`Trainer::step`] — steady-state tape workspace included, comm noise
 //! excluded.
@@ -11,44 +11,10 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cgnn_comm::{Comm, CommBackend, RankStats, RecvOp};
+use cgnn_comm::LoopbackBackend;
 use cgnn_core::{GnnConfig, HaloContext, RankData, Trainer};
 use cgnn_graph::build_global_graph;
 use cgnn_mesh::{BoxMesh, TaylorGreen};
-
-/// Single-rank loopback transport: collectives are identities, so the whole
-/// training step executes on the calling thread.
-struct Loopback {
-    stats: RankStats,
-}
-
-impl CommBackend for Loopback {
-    fn rank(&self) -> usize {
-        0
-    }
-    fn size(&self) -> usize {
-        1
-    }
-    fn label(&self) -> &'static str {
-        "loopback"
-    }
-    fn barrier(&self) {}
-    fn all_gather(&self, _label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
-        vec![data]
-    }
-    fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
-        send
-    }
-    fn send(&self, _dst: usize, _tag: u32, _data: Vec<f64>) {
-        unreachable!("no peers in a single-rank world")
-    }
-    fn irecv(&self, _src: usize) -> Box<dyn RecvOp> {
-        unreachable!("no peers in a single-rank world")
-    }
-    fn stats(&self) -> &RankStats {
-        &self.stats
-    }
-}
 
 fn bench_step_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
@@ -57,10 +23,7 @@ fn bench_step_batch(c: &mut Criterion) {
     let graph = Arc::new(build_global_graph(&mesh));
     let field = TaylorGreen::new(0.01);
     for (label, config) in [("small", GnnConfig::small()), ("large", GnnConfig::large())] {
-        let comm = Comm::from_backend(Arc::new(Loopback {
-            stats: RankStats::default(),
-        }));
-        let ctx = HaloContext::single(comm);
+        let ctx = HaloContext::single(LoopbackBackend::comm());
         let mut trainer = Trainer::new(config, 42, 1e-3, ctx);
         let data = RankData::tgv_autoencode(Arc::clone(&graph), &field, 0.0);
         trainer.step(&data); // warm the buffer pool
@@ -72,6 +35,20 @@ fn bench_step_batch(c: &mut Criterion) {
         let batch = [&data, &data];
         group.bench_function(format!("step_batch2_{label}_4x4x4_p2"), |b| {
             b.iter(|| trainer.step_batch(&batch))
+        });
+        // Inference batching: one stacked forward over the whole batch vs
+        // the same predictions one at a time (the cgnn-serve data plane's
+        // amortization, bit-identical by construction).
+        let pbatch = [&data, &data, &data, &data];
+        group.bench_function(format!("predict_batch4_{label}_4x4x4_p2"), |b| {
+            b.iter(|| trainer.predict_batch(&pbatch))
+        });
+        group.bench_function(format!("predict_x4_{label}_4x4x4_p2"), |b| {
+            b.iter(|| {
+                for d in pbatch {
+                    std::hint::black_box(trainer.predict(d));
+                }
+            })
         });
     }
     group.finish();

@@ -194,12 +194,22 @@ fn main() {
         }
     }
 
+    // The committed baseline is an R=1 measurement at the default bench
+    // size: a run only yields a comparable speedup when it uses that size
+    // AND actually swept R=1. Without the rank check, a
+    // `CGNN_BENCH_RANKS=2,4` run at default size would fold `r1` over an
+    // empty set (0.0) and silently publish a 0x "speedup" as comparable.
     let default_size = elems == 6 && poly == 2 && model == "small" && steps == 10;
+    let baseline_comparable = default_size && ranks.contains(&1);
     let r1 = cells
         .iter()
         .filter(|c| c.ranks == 1)
         .map(|c| c.steps_per_sec)
         .fold(0.0f64, f64::max);
+    assert!(
+        !baseline_comparable || r1 > 0.0,
+        "comparable run produced no R=1 throughput"
+    );
     let json = json!({
         "bench": "hotpath",
         "mesh": {"elems": elems, "poly": poly, "nodes": nodes, "edges": edges},
@@ -213,9 +223,9 @@ fn main() {
         "baseline": {
             "steps_per_sec": BASELINE_STEPS_PER_SEC,
             "note": "pre-PR commit 2c6dbcf, R=1, default bench size, same machine/methodology",
-            "applies_to_this_run": default_size,
+            "applies_to_this_run": baseline_comparable,
         },
-        "speedup_vs_baseline": if default_size { Some(r1 / BASELINE_STEPS_PER_SEC) } else { None },
+        "speedup_vs_baseline": if baseline_comparable { Some(r1 / BASELINE_STEPS_PER_SEC) } else { None },
         "consistent_modes_bit_identical": consistent_ok,
         "results": cells.iter().map(|c| json!({
             "ranks": c.ranks,
@@ -233,7 +243,7 @@ fn main() {
     )
     .expect("write BENCH_hotpath.json");
     println!("\n[wrote {path}]");
-    if default_size {
+    if baseline_comparable {
         println!(
             "R=1 throughput {:.3} steps/s = {:.2}x the pre-PR baseline ({:.3} steps/s)",
             r1,

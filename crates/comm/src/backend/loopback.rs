@@ -1,0 +1,109 @@
+//! Single-rank loopback transport: collectives are identities, there are
+//! no peers, and everything executes on the calling thread.
+//!
+//! This is the transport behind *persistent* single-rank trainers — code
+//! that owns a [`Trainer`](../../cgnn_core) outside any
+//! [`Backend::launch`](crate::Backend::launch) SPMD region. The inference
+//! serving plane (`cgnn-serve`) keeps one loopback-backed trainer warm per
+//! replica, and the Criterion step benchmarks time the trainer on the
+//! benchmark thread through the same transport.
+//!
+//! Arithmetic over a loopback world is bit-identical to a launched
+//! single-rank world of any other backend: the [`Comm`] layer
+//! computes all reductions rank-ordered from gathered contributions, and
+//! at world size one that gathering is the identity everywhere.
+
+use crate::backend::{CommBackend, RecvOp};
+use crate::comm::Comm;
+use crate::stats::RankStats;
+use std::sync::Arc;
+
+/// A world of exactly one rank on the calling thread. Collectives return
+/// their input; point-to-point operations have no possible peer and abort.
+///
+/// ```
+/// use cgnn_comm::LoopbackBackend;
+///
+/// let comm = LoopbackBackend::comm();
+/// assert_eq!(comm.size(), 1);
+/// assert_eq!(comm.all_reduce_scalar(2.5), 2.5);
+/// assert_eq!(comm.backend_label(), "loopback");
+/// ```
+#[derive(Default)]
+pub struct LoopbackBackend {
+    stats: RankStats,
+}
+
+impl LoopbackBackend {
+    /// A fresh single-rank communicator handle over this transport — the
+    /// entry point for persistent trainers that live outside an SPMD
+    /// launch.
+    pub fn comm() -> Comm {
+        Comm::from_backend(Arc::new(LoopbackBackend::default()))
+    }
+}
+
+impl CommBackend for LoopbackBackend {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn label(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn barrier(&self) {}
+
+    fn all_gather(&self, _label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
+        vec![data]
+    }
+
+    fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        send
+    }
+
+    /// # Panics
+    /// Always: a single-rank world has no peer to send to.
+    fn send(&self, dst: usize, _tag: u32, _data: Vec<f64>) {
+        unreachable!("loopback send to rank {dst}: no peers in a single-rank world")
+    }
+
+    /// # Panics
+    /// Always: a single-rank world has no peer to receive from.
+    fn irecv(&self, src: usize) -> Box<dyn RecvOp> {
+        unreachable!("loopback irecv from rank {src}: no peers in a single-rank world")
+    }
+
+    fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_are_identities() {
+        let comm = LoopbackBackend::comm();
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.size(), 1);
+        let mut buf = [1.0, 2.0, 3.0];
+        comm.all_reduce_sum(&mut buf);
+        assert_eq!(buf, [1.0, 2.0, 3.0]);
+        assert_eq!(comm.all_reduce_scalar(-4.25), -4.25);
+        let snap = comm.stats_snapshot();
+        assert_eq!(snap.all_reduces, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no peers")]
+    fn point_to_point_aborts() {
+        let comm = LoopbackBackend::comm();
+        comm.backend().send(0, 0, vec![1.0]);
+    }
+}

@@ -4,14 +4,17 @@
 //! collective, point-to-point, and accounting path goes through the
 //! object-safe [`CommBackend`] trait, so a new transport (a real MPI/NCCL
 //! binding, a cross-process shared-memory world, a network simulator) is a
-//! new `impl`, not a rewrite of `cgnn-core`. Two backends ship in-tree:
+//! new `impl`, not a rewrite of `cgnn-core`. Three backends ship in-tree:
 //!
 //! * [`ThreadWorld`](threads::ThreadWorld) — one OS thread per rank with
 //!   real concurrency, the default (mirrors the paper's one-GPU-per-rank
 //!   SPMD setup),
 //! * [`SerialBackend`](serial::SerialBackend) — a loopback world that
 //!   executes ranks one at a time in deterministic round-robin order:
-//!   zero-concurrency reference semantics for debugging and CI.
+//!   zero-concurrency reference semantics for debugging and CI,
+//! * [`LoopbackBackend`](loopback::LoopbackBackend) — a world of exactly
+//!   one rank on the calling thread, for persistent single-rank trainers
+//!   (the `cgnn-serve` replica pool, the Criterion step benchmarks).
 //!
 //! Backends provide raw transport primitives only; traffic accounting and
 //! the deterministic reduction arithmetic live once, in [`Comm`],
@@ -65,6 +68,7 @@
 //! assert_eq!(comm.backend_label(), "loopback");
 //! ```
 
+pub mod loopback;
 pub mod serial;
 pub mod threads;
 

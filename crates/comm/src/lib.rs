@@ -19,11 +19,15 @@
 //! * non-blocking `isend`/`irecv` returning wait-able [`SendRequest`] /
 //!   [`RecvRequest`] handles (the overlapped halo exchange).
 //!
-//! Two transports ship in-tree, selected by [`Backend`] (or the
-//! `CGNN_BACKEND` environment variable):
+//! Two launchable transports ship in-tree, selected by [`Backend`] (or
+//! the `CGNN_BACKEND` environment variable):
 //! * [`ThreadWorld`] — one OS thread per rank, real concurrency (default),
 //! * [`SerialBackend`] — deterministic round-robin single-stepping of the
 //!   ranks, for debugging and CI reference runs.
+//!
+//! A third, [`LoopbackBackend`], is not launched at all: it is a world of
+//! exactly one rank on the calling thread, for code that owns a persistent
+//! trainer outside any SPMD region (the `cgnn-serve` replica pool).
 //!
 //! Because reductions are computed rank-ordered in the [`Comm`] layer from
 //! gathered contributions, *all* backends produce bit-identical arithmetic;
@@ -37,6 +41,7 @@ pub mod backend;
 pub mod comm;
 pub mod stats;
 
+pub use backend::loopback::LoopbackBackend;
 pub use backend::serial::SerialBackend;
 pub use backend::threads::ThreadWorld;
 pub use backend::{Backend, CommBackend, CompletedSend, PostQueue, RecvOp, SendOp};

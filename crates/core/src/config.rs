@@ -145,6 +145,94 @@ pub const CGNN_BENCH_MODEL: EnvKnob = EnvKnob {
     doc: "`hotpath` bench model preset (`small` or `large`).",
 };
 
+/// `cgnn-serve`: TCP bind address of the inference server.
+pub const CGNN_SERVE_ADDR: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_ADDR",
+    default: "127.0.0.1:7878",
+    doc: "`cgnn-serve` bind address (`host:port`; port 0 picks an \
+          ephemeral port, printed at startup).",
+};
+
+/// `cgnn-serve`: number of warm model replicas in the data plane.
+pub const CGNN_SERVE_REPLICAS: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_REPLICAS",
+    default: "1",
+    doc: "`cgnn-serve` warm replica count (each owns a loopback trainer \
+          and pooled tape).",
+};
+
+/// `cgnn-serve`: micro-batch size cap per forward pass.
+pub const CGNN_SERVE_MAX_BATCH: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_MAX_BATCH",
+    default: "32",
+    doc: "`cgnn-serve` micro-batching cap: a replica drains up to this \
+          many queued requests into one stacked forward pass.",
+};
+
+/// `cgnn-serve`: how long a partial micro-batch waits for more requests.
+pub const CGNN_SERVE_BATCH_WAIT_US: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_BATCH_WAIT_US",
+    default: "2000",
+    doc: "`cgnn-serve` micro-batch deadline in microseconds: a partial \
+          batch launches after waiting this long for more work.",
+};
+
+/// `cgnn-serve`: bounded request-queue capacity (backpressure point).
+pub const CGNN_SERVE_QUEUE_CAP: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_QUEUE_CAP",
+    default: "256",
+    doc: "`cgnn-serve` request queue capacity; a full queue answers \
+          `503` instead of buffering unboundedly.",
+};
+
+/// `cgnn-serve`: checkpoint-directory poll period for hot reload.
+pub const CGNN_SERVE_POLL_MS: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_POLL_MS",
+    default: "500",
+    doc: "`cgnn-serve` control-plane poll period (ms) for new \
+          checkpoints in `CGNN_SERVE_CKPT_DIR`.",
+};
+
+/// `cgnn-serve`: checkpoint directory watched for hot reload.
+pub const CGNN_SERVE_CKPT_DIR: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_CKPT_DIR",
+    default: "unset (serve seeded weights)",
+    doc: "`cgnn-serve` checkpoint directory: the newest `step-*.ckpt` is \
+          loaded at startup and hot-swapped as training writes more.",
+};
+
+/// `cgnn-serve`: model architecture preset.
+pub const CGNN_SERVE_MODEL: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_MODEL",
+    default: "small",
+    doc: "`cgnn-serve` model preset (`small` or `large`); must match the \
+          checkpoints being served.",
+};
+
+/// `cgnn-serve` / `servebench`: elements per axis of the served mesh.
+pub const CGNN_SERVE_ELEMS: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_ELEMS",
+    default: "4",
+    doc: "Elements per axis of the mesh `cgnn-serve` and the `servebench` \
+          binary serve predictions on (GLL order fixed at 2).",
+};
+
+/// `serve_client` / `servebench`: concurrent load-generator connections.
+pub const CGNN_SERVE_BENCH_CLIENTS: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_BENCH_CLIENTS",
+    default: "2",
+    doc: "`servebench` concurrent load-generator connections (pipelined at \
+          saturation); the `serve_client` example defaults to 4.",
+};
+
+/// `serve_client` / `servebench`: requests issued per client connection.
+pub const CGNN_SERVE_BENCH_REQS: EnvKnob = EnvKnob {
+    name: "CGNN_SERVE_BENCH_REQS",
+    default: "400",
+    doc: "`servebench` requests per client connection; the `serve_client` \
+          example defaults to 20.",
+};
+
 /// Fallback worker-count knob honored by the vendored rayon shim when
 /// `CGNN_NUM_THREADS` is unset (upstream rayon compatibility).
 pub const RAYON_NUM_THREADS: EnvKnob = EnvKnob {
@@ -167,6 +255,17 @@ pub const KNOBS: &[&EnvKnob] = &[
     &CGNN_BENCH_REPS,
     &CGNN_BENCH_RANKS,
     &CGNN_BENCH_MODEL,
+    &CGNN_SERVE_ADDR,
+    &CGNN_SERVE_REPLICAS,
+    &CGNN_SERVE_MAX_BATCH,
+    &CGNN_SERVE_BATCH_WAIT_US,
+    &CGNN_SERVE_QUEUE_CAP,
+    &CGNN_SERVE_POLL_MS,
+    &CGNN_SERVE_CKPT_DIR,
+    &CGNN_SERVE_MODEL,
+    &CGNN_SERVE_ELEMS,
+    &CGNN_SERVE_BENCH_CLIENTS,
+    &CGNN_SERVE_BENCH_REQS,
     &RAYON_NUM_THREADS,
 ];
 

@@ -1,0 +1,127 @@
+//! Minimal blocking HTTP/1.1 client for the serving plane — shared by the
+//! integration tests, the `serve_client` example, and the `servebench`
+//! load generator.
+//!
+//! Intentionally tiny: keep-alive requests over one `TcpStream`, response
+//! framing by `Content-Length` only. Because the workspace's `serde_json`
+//! shim cannot *parse* JSON, machine-readable response fields are read
+//! from headers (`X-Model-Step`, `X-N-Nodes`, ...) rather than bodies.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::http::read_line;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One keep-alive client connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connect to `addr`, retrying for up to `wait` (covers the race of a
+    /// load generator starting before the server finished binding).
+    pub fn connect_retry(addr: SocketAddr, wait: Duration) -> io::Result<HttpClient> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match HttpClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Issue one request and read the full response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.send_request(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Write one request without waiting for its response. Pairing `n`
+    /// sends with `n` [`HttpClient::read_response`] calls pipelines the
+    /// connection (responses come back in request order), which is how
+    /// `servebench` measures saturation throughput without a client
+    /// round-trip on every request's critical path.
+    pub fn send_request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: cgnn-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()
+    }
+
+    /// Read the next response off the connection (see
+    /// [`HttpClient::send_request`]).
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let status_line = read_line(&mut self.reader)?
+            .ok_or_else(|| invalid("connection closed before status line"))?;
+        // "HTTP/1.1 200 OK"
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("malformed status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(&mut self.reader)?
+                .ok_or_else(|| invalid("connection closed in headers"))?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid("malformed response header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(&mut self.reader, &mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

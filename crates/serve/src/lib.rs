@@ -1,0 +1,46 @@
+//! # cgnn-serve
+//!
+//! Surrogate-as-a-service: the trained consistent-GNN surrogate behind a
+//! small, dependency-free HTTP/1.1 inference server.
+//!
+//! Three planes, one per module:
+//!
+//! * **data plane** ([`pool`]) — a bounded request queue drained by warm
+//!   model replicas with *dynamic micro-batching*: up to
+//!   `CGNN_SERVE_MAX_BATCH` requests are stacked into one forward pass
+//!   over a disjoint-union graph ([`cgnn_core::Trainer::predict_batch`]),
+//!   amortizing per-pass fixed costs while staying **bit-identical** to
+//!   singleton inference for every request;
+//! * **control plane** ([`control`]) — owns the published parameter set,
+//!   watches a checkpoint directory, validates new checkpoints against
+//!   the served architecture, and hot-swaps them in *between* batches so
+//!   in-flight requests are never torn across a reload;
+//! * **telemetry** ([`stats`]) — lock-free counters and fixed-bucket
+//!   histograms (batch sizes, latency percentiles) folded into JSON at
+//!   `/metrics`, on the same snapshot pattern as [`cgnn_comm::stats`].
+//!
+//! The HTTP layer ([`http`]) is a hand-rolled subset over [`std::net`]
+//! (this workspace has no network registry, so no hyper/tokio): a
+//! thread-per-acceptor feeding a fixed worker pool over keep-alive
+//! connections. `/predict` frames are raw little-endian `f64` matrices —
+//! binary in, binary out — so served predictions can be compared
+//! bit-for-bit against in-process inference.
+//!
+//! See `docs/SERVING.md` for the architecture diagram, the endpoint
+//! reference, and operational recipes; [`server::ServeConfig`] documents
+//! the `CGNN_SERVE_*` knobs.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod control;
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod stats;
+
+pub use client::{ClientResponse, HttpClient};
+pub use control::{ControlPlane, ControlShared, ReloadOutcome};
+pub use pool::{PredictJob, PredictReply, ReplicaPool};
+pub use server::{ServeConfig, Server};
+pub use stats::{ServeSnapshot, ServeStats};

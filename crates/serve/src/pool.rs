@@ -1,0 +1,239 @@
+//! The serving data plane: a bounded request queue drained by a pool of
+//! warm model replicas with **dynamic micro-batching**.
+//!
+//! Each replica owns a persistent [`Trainer`] on the single-rank
+//! [`LoopbackBackend`] (steady-state tape workspace included, so serving
+//! draws recycled buffers exactly like training does). A replica assembles
+//! a batch by taking the first queued request, then draining more until
+//! either `max_batch` requests are in hand or `batch_wait` elapses — and
+//! runs **one** stacked forward pass over the disjoint-union graph
+//! ([`Trainer::predict_batch`]). Per-request results are bit-identical to
+//! singleton passes, so batching is purely a throughput decision.
+//!
+//! Backpressure is structural: the queue is a `sync_channel(queue_cap)`
+//! and the HTTP layer uses `try_send`, so a saturated pool answers `503`
+//! immediately instead of buffering unboundedly.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cgnn_comm::LoopbackBackend;
+use cgnn_core::{GnnConfig, HaloContext, RankData, Trainer};
+use cgnn_graph::LocalGraph;
+
+use crate::control::ControlShared;
+use crate::stats::ServeStats;
+
+/// One queued inference request.
+#[derive(Debug)]
+pub struct PredictJob {
+    /// Row-major `[n_local, NODE_FEATS]` input node features.
+    pub x: Vec<f64>,
+    /// Where the replica sends the reply (dropped replies mean the client
+    /// went away; they are ignored).
+    pub resp: mpsc::Sender<PredictReply>,
+}
+
+/// One reply from a replica.
+#[derive(Debug)]
+pub struct PredictReply {
+    /// Row-major `[n_local, node_out]` prediction, or a client-side error.
+    pub result: Result<Vec<f64>, String>,
+    /// Training step of the parameter set that served this request.
+    pub model_step: u64,
+}
+
+/// Handle to the running replica pool.
+#[derive(Debug)]
+pub struct ReplicaPool {
+    tx: SyncSender<PredictJob>,
+    // Keeps the queue alive even with zero replicas (so senders observe
+    // `Full`, not `Disconnected`) and hands each replica its turn at
+    // batch assembly.
+    _rx: Arc<Mutex<Receiver<PredictJob>>>,
+    replicas: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// How long an idle replica waits on the queue before re-checking the
+/// shutdown flag and the published parameter generation.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+impl ReplicaPool {
+    /// Spawn `replicas` warm replicas draining a bounded queue of
+    /// `queue_cap` requests with micro-batch parameters `max_batch` /
+    /// `batch_wait`. Zero replicas is a valid (test) configuration: the
+    /// queue accepts `queue_cap` requests and then rejects.
+    pub fn spawn(
+        graph: Arc<LocalGraph>,
+        config: GnnConfig,
+        shared: Arc<ControlShared>,
+        stats: Arc<ServeStats>,
+        replicas: usize,
+        max_batch: usize,
+        batch_wait: Duration,
+        queue_cap: usize,
+    ) -> ReplicaPool {
+        assert!(queue_cap > 0, "the request queue needs at least one slot");
+        assert!(max_batch > 0, "micro-batches need at least one request");
+        let (tx, rx) = mpsc::sync_channel(queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..replicas)
+            .map(|i| {
+                let graph = Arc::clone(&graph);
+                let shared = Arc::clone(&shared);
+                let stats = Arc::clone(&stats);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("cgnn-serve-rep{i}"))
+                    .spawn(move || {
+                        replica_loop(graph, config, shared, stats, rx, max_batch, batch_wait)
+                    })
+                    .expect("failed to spawn a serve replica thread")
+            })
+            .collect();
+        ReplicaPool {
+            tx,
+            _rx: rx,
+            replicas: handles,
+        }
+    }
+
+    /// Clone of the bounded submission side of the queue.
+    pub fn sender(&self) -> SyncSender<PredictJob> {
+        self.tx.clone()
+    }
+
+    /// Drop the submission side and join every replica. Queued requests
+    /// are still served before the replicas exit (graceful drain).
+    pub fn shutdown(self) {
+        drop(self.tx);
+        drop(self._rx);
+        for handle in self.replicas {
+            handle.join().expect("a serve replica thread panicked");
+        }
+    }
+}
+
+/// Collect one micro-batch: block for the first job (bounded by
+/// [`IDLE_TICK`] so flags stay fresh), then drain until `max_batch` or the
+/// `batch_wait` deadline. Returns `(batch, disconnected)`.
+fn collect_batch(
+    rx: &Mutex<Receiver<PredictJob>>,
+    max_batch: usize,
+    batch_wait: Duration,
+) -> (Vec<PredictJob>, bool) {
+    let rx = rx.lock().expect("serve queue mutex poisoned");
+    let first = match rx.recv_timeout(IDLE_TICK) {
+        Ok(job) => job,
+        Err(RecvTimeoutError::Timeout) => return (Vec::new(), false),
+        Err(RecvTimeoutError::Disconnected) => return (Vec::new(), true),
+    };
+    let mut batch = vec![first];
+    let deadline = Instant::now() + batch_wait;
+    while batch.len() < max_batch {
+        let now = Instant::now();
+        let job = if now >= deadline {
+            match rx.try_recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => return (batch, true),
+            }
+        };
+        batch.push(job);
+    }
+    (batch, false)
+}
+
+fn replica_loop(
+    graph: Arc<LocalGraph>,
+    config: GnnConfig,
+    shared: Arc<ControlShared>,
+    stats: Arc<ServeStats>,
+    rx: Arc<Mutex<Receiver<PredictJob>>>,
+    max_batch: usize,
+    batch_wait: Duration,
+) {
+    let ctx = HaloContext::single(LoopbackBackend::comm());
+    let mut trainer = Trainer::new(config, 0, 1e-3, ctx);
+    let mut generation = 0u64; // behind the initial publication: installs on entry
+    let mut model_step = 0u64;
+    let expect_rows = graph.n_local() * cgnn_graph::NODE_FEATS;
+    loop {
+        // Install newly published parameters between batches — never
+        // mid-pass, so each request is served by exactly one parameter
+        // set.
+        let published = shared.generation.load(Ordering::Acquire);
+        if published != generation {
+            let params = shared.current_params();
+            cgnn_tensor::restore_into(&mut trainer.params, &params)
+                .expect("published parameters no longer match the served architecture");
+            generation = published;
+            model_step = shared.model_step.load(Ordering::Acquire);
+        }
+
+        let (batch, disconnected) = collect_batch(&rx, max_batch, batch_wait);
+        if !batch.is_empty() {
+            stats
+                .queue_depth
+                .fetch_sub(batch.len() as u64, Ordering::Relaxed);
+            stats.record_batch(batch.len());
+            serve_batch(&trainer, &graph, expect_rows, batch, model_step);
+        }
+        // `Disconnected` is only reported once the buffered queue is
+        // empty (std mpsc drains stragglers first), so this is a clean
+        // graceful-drain exit: every accepted request was served.
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Run one stacked forward pass and fan the per-request rows back out.
+fn serve_batch(
+    trainer: &Trainer,
+    graph: &Arc<LocalGraph>,
+    expect_rows: usize,
+    batch: Vec<PredictJob>,
+    model_step: u64,
+) {
+    // Malformed frames were already rejected by the HTTP layer; a length
+    // mismatch here means the caller bypassed it, so answer per-request
+    // errors rather than poisoning the whole batch.
+    let mut data = Vec::with_capacity(batch.len());
+    let mut senders = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.x.len() != expect_rows {
+            let _ = job.resp.send(PredictReply {
+                result: Err(format!(
+                    "expected {expect_rows} feature values, got {}",
+                    job.x.len()
+                )),
+                model_step,
+            });
+            continue;
+        }
+        let x = job.x;
+        data.push(RankData::new(Arc::clone(graph), x.clone(), x));
+        senders.push(job.resp);
+    }
+    if data.is_empty() {
+        return;
+    }
+    let refs: Vec<&RankData> = data.iter().collect();
+    let outputs = trainer.predict_batch(&refs);
+    for (sender, out) in senders.into_iter().zip(outputs) {
+        // A dropped receiver means the client disconnected mid-flight;
+        // nothing to do.
+        let _ = sender.send(PredictReply {
+            result: Ok(out.data().to_vec()),
+            model_step,
+        });
+    }
+}

@@ -1,0 +1,623 @@
+//! The assembled inference server: acceptor + HTTP worker pool in front of
+//! the replica pool and control plane.
+//!
+//! ```text
+//!             ┌──────────── control plane ────────────┐
+//!             │ checkpoint watcher → validate → swap  │
+//!             └───────────────┬───────────────────────┘
+//!   TCP accept → workers ─ bounded queue ─ replicas (micro-batch forward)
+//!             └── /health /info /metrics /admin/* ──→ telemetry
+//! ```
+//!
+//! Connections are served with HTTP/1.1 **pipelining**: a worker admits
+//! requests as fast as the peer streams them (enqueueing `/predict` work
+//! immediately) and writes responses strictly in request order as replica
+//! replies settle. One streaming connection can therefore keep whole
+//! micro-batches in flight — the bulk-query shape of a solver process
+//! driving the surrogate.
+//!
+//! See `docs/SERVING.md` for the endpoint reference and batching
+//! semantics.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cgnn_core::config as knobs;
+use cgnn_core::GnnConfig;
+use cgnn_graph::{build_global_graph, LocalGraph, NODE_FEATS};
+use cgnn_mesh::BoxMesh;
+
+use crate::control::{ControlPlane, ControlShared};
+use crate::http::{self, ReadOutcome, Request, Response};
+use crate::pool::{PredictJob, PredictReply, ReplicaPool};
+use crate::stats::ServeStats;
+
+/// Complete serving configuration. [`ServeConfig::from_env`] reads every
+/// field from the registered `CGNN_SERVE_*` knobs; tests and benches
+/// override fields directly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Warm replica count.
+    pub replicas: usize,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Micro-batch deadline in microseconds.
+    pub batch_wait_us: u64,
+    /// Bounded request-queue capacity.
+    pub queue_cap: usize,
+    /// Checkpoint poll period in milliseconds.
+    pub poll_ms: u64,
+    /// Watched checkpoint directory (`None` serves seeded weights).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Served architecture.
+    pub model: GnnConfig,
+    /// Preset name for `/info` (`small` / `large`).
+    pub model_name: String,
+    /// Elements per axis of the served mesh (GLL order fixed at 2).
+    pub elems: usize,
+    /// Seed for the fallback weights (and the restore probe).
+    pub seed: u64,
+    /// HTTP worker threads (concurrent connections served).
+    pub http_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            replicas: 1,
+            max_batch: 32,
+            batch_wait_us: 2000,
+            queue_cap: 256,
+            poll_ms: 500,
+            ckpt_dir: None,
+            model: GnnConfig::small(),
+            model_name: "small".to_string(),
+            elems: 4,
+            seed: 42,
+            http_workers: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Read the configuration from the registered `CGNN_SERVE_*` knobs,
+    /// with the documented defaults for unset variables.
+    pub fn from_env() -> Self {
+        let defaults = ServeConfig::default();
+        let model_name = knobs::CGNN_SERVE_MODEL.string_or("small");
+        let model = if model_name == "large" {
+            GnnConfig::large()
+        } else {
+            GnnConfig::small()
+        };
+        ServeConfig {
+            addr: knobs::CGNN_SERVE_ADDR.string_or(&defaults.addr),
+            replicas: knobs::CGNN_SERVE_REPLICAS.usize_or(defaults.replicas),
+            max_batch: knobs::CGNN_SERVE_MAX_BATCH.usize_or(defaults.max_batch),
+            batch_wait_us: knobs::CGNN_SERVE_BATCH_WAIT_US.usize_or(2000) as u64,
+            queue_cap: knobs::CGNN_SERVE_QUEUE_CAP.usize_or(defaults.queue_cap),
+            poll_ms: knobs::CGNN_SERVE_POLL_MS.usize_or(500) as u64,
+            ckpt_dir: knobs::CGNN_SERVE_CKPT_DIR.lookup().map(PathBuf::from),
+            model,
+            model_name,
+            elems: knobs::CGNN_SERVE_ELEMS.usize_or(defaults.elems),
+            seed: defaults.seed,
+            http_workers: defaults.http_workers,
+        }
+    }
+}
+
+/// The running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] for a graceful stop or [`Server::join`] to serve
+/// until the process dies.
+pub struct Server {
+    addr: SocketAddr,
+    graph: Arc<LocalGraph>,
+    shared: Arc<ControlShared>,
+    control: Arc<ControlPlane>,
+    stats: Arc<ServeStats>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+    pool: Option<ReplicaPool>,
+    config: ServeConfig,
+}
+
+/// Everything one HTTP worker needs to route requests.
+struct Router {
+    graph: Arc<LocalGraph>,
+    shared: Arc<ControlShared>,
+    control: Arc<ControlPlane>,
+    stats: Arc<ServeStats>,
+    pool_tx: mpsc::SyncSender<PredictJob>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Build the served graph, load/validate initial parameters, and
+    /// start every thread. Returns once the listener is bound (the
+    /// actual address is [`Server::addr`]).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let mesh = BoxMesh::new(
+            (config.elems, config.elems, config.elems),
+            2,
+            (1.0, 1.0, 1.0),
+            false,
+        );
+        let graph = Arc::new(build_global_graph(&mesh));
+        let stats = Arc::new(ServeStats::default());
+        let control = Arc::new(ControlPlane::new(
+            config.model,
+            config.seed,
+            config.ckpt_dir.clone(),
+        )?);
+        let shared = control.shared();
+        let pool = ReplicaPool::spawn(
+            Arc::clone(&graph),
+            config.model,
+            Arc::clone(&shared),
+            Arc::clone(&stats),
+            config.replicas,
+            config.max_batch,
+            Duration::from_micros(config.batch_wait_us),
+            config.queue_cap,
+        );
+        let watcher = config.ckpt_dir.is_some().then(|| {
+            control.spawn_watcher(Duration::from_millis(config.poll_ms), Arc::clone(&stats))
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = (0..config.http_workers.max(1))
+            .map(|i| {
+                let router = Router {
+                    graph: Arc::clone(&graph),
+                    shared: Arc::clone(&shared),
+                    control: Arc::clone(&control),
+                    stats: Arc::clone(&stats),
+                    pool_tx: pool.sender(),
+                    config: config.clone(),
+                };
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("cgnn-serve-http{i}"))
+                    .spawn(move || worker_loop(router, conn_rx))
+                    .expect("failed to spawn an HTTP worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cgnn-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match stream {
+                            // A send error means the workers are gone,
+                            // which only happens during shutdown.
+                            Ok(s) => {
+                                if conn_tx.send(s).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                })
+                .expect("failed to spawn the acceptor thread")
+        };
+
+        Ok(Server {
+            addr,
+            graph,
+            shared,
+            control,
+            stats,
+            acceptor: Some(acceptor),
+            workers,
+            watcher,
+            pool: Some(pool),
+            config,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Local rows (= nodes) of the served graph: `/predict` frames carry
+    /// `n_local() * NODE_FEATS` little-endian `f64` values.
+    pub fn n_local(&self) -> usize {
+        self.graph.n_local()
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Live serving telemetry.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Shared serving state (drain/shutdown flags, model generation).
+    pub fn shared(&self) -> Arc<ControlShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Trigger one synchronous control-plane reload scan (what
+    /// `POST /admin/reload` does).
+    pub fn reload(&self) -> std::io::Result<crate::control::ReloadOutcome> {
+        self.control.reload()
+    }
+
+    /// Block the calling thread until the acceptor exits (i.e. forever,
+    /// for a server that is never shut down).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("the acceptor thread panicked");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new `/predict` work,
+    /// serve everything already queued, then join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor with a no-op connection.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("the acceptor thread panicked");
+        }
+        // Drain and stop the replicas first: any worker blocked on a
+        // reply either receives it (queued request) or observes the
+        // reply channel disconnect (request dropped with the queue).
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("an HTTP worker thread panicked");
+        }
+        if let Some(watcher) = self.watcher.take() {
+            watcher.join().expect("the checkpoint watcher panicked");
+        }
+    }
+}
+
+/// Per-connection read timeout: bounds how long a worker is blind to the
+/// shutdown flag while parked on an idle keep-alive connection.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+fn worker_loop(router: Router, conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        if router.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = {
+            let rx = conn_rx.lock().expect("serve accept mutex poisoned");
+            match rx.recv_timeout(READ_TICK) {
+                Ok(s) => s,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        // Per-connection setup failures just drop the connection.
+        let _ = handle_connection(&router, stream);
+    }
+}
+
+/// Cap on buffered pipelined requests per connection: bounds the reply
+/// backlog a single connection can hold open while still letting one
+/// streaming client fill the largest micro-batch many times over.
+const MAX_PIPELINE: usize = 256;
+
+/// One response owed to the connection, in request order.
+enum Pending {
+    /// Computed inline (every endpoint except an accepted `/predict`).
+    Ready(Response),
+    /// An accepted `/predict`: the reply is in flight from a replica.
+    /// The `Instant` is the enqueue time, for the latency histogram.
+    InFlight(mpsc::Receiver<PredictReply>, Instant),
+}
+
+/// Serve one connection with HTTP/1.1 pipelining: requests are admitted
+/// (and `/predict` work enqueued) as fast as the peer sends them, and
+/// responses are written strictly in request order as they settle. A
+/// single streaming connection can therefore keep whole micro-batches in
+/// flight — the bulk-query shape a solver process produces — instead of
+/// one request per round-trip.
+fn handle_connection(router: &Router, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut pending: VecDeque<(Pending, bool)> = VecDeque::new();
+    let mut closing = false;
+    loop {
+        // A settled burst of responses leaves the buffered writer here,
+        // before admission can park waiting on the peer (which may itself
+        // be waiting on these responses).
+        writer.flush()?;
+        // Admission: with no reply owed, park in a blocking read (bounded
+        // by READ_TICK so shutdown is observed); with replies owed, only
+        // consume input that is already buffered — a pipelining client's
+        // next request — and never wait on a slow sender.
+        while !closing && pending.len() < MAX_PIPELINE {
+            if !pending.is_empty() && !input_available(&mut reader)? {
+                break;
+            }
+            match http::read_request(&mut reader) {
+                Ok(ReadOutcome::Request(req)) => {
+                    let keep = !req.wants_close();
+                    pending.push_back((route(router, &req), keep));
+                    if !keep {
+                        closing = true;
+                    }
+                }
+                Ok(ReadOutcome::Closed) => closing = true,
+                Ok(ReadOutcome::Idle) => {
+                    if router.shared.shutdown.load(Ordering::Acquire) {
+                        closing = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    let resp = Response::json(400, format!("{{ \"error\": \"{e}\" }}\n"));
+                    pending.push_back((Pending::Ready(resp), false));
+                    closing = true;
+                }
+            }
+        }
+        if pending.is_empty() {
+            if closing {
+                return writer.flush();
+            }
+            continue;
+        }
+        // Settlement: block for the front reply, then flush every further
+        // response that is already settled — a replica finishing a batch
+        // retires this connection's share of it in one wake-up.
+        let mut block_for_front = true;
+        while let Some((front, keep)) = pending.pop_front() {
+            let settled = if block_for_front {
+                Ok(settle(router, front))
+            } else {
+                try_settle(router, front)
+            };
+            block_for_front = false;
+            match settled {
+                Ok(resp) => {
+                    http::write_response(&mut writer, &resp, keep)?;
+                    if !keep {
+                        return writer.flush();
+                    }
+                }
+                Err(not_ready) => {
+                    pending.push_front((not_ready, keep));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Whether another pipelined request (or EOF) can be consumed without
+/// waiting on the peer: bytes already sit in the read buffer, or the
+/// socket has data right now.
+fn input_available(reader: &mut BufReader<TcpStream>) -> std::io::Result<bool> {
+    if !reader.buffer().is_empty() {
+        return Ok(true);
+    }
+    let stream = reader.get_ref();
+    stream.set_nonblocking(true)?;
+    let mut probe = [0u8; 1];
+    let peeked = stream.peek(&mut probe);
+    stream.set_nonblocking(false)?;
+    match peeked {
+        // Data — or EOF, which the next read_request reports as Closed.
+        Ok(_) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Resolve a pending response, blocking on an in-flight replica reply.
+fn settle(router: &Router, p: Pending) -> Response {
+    match p {
+        Pending::Ready(resp) => resp,
+        Pending::InFlight(rx, enqueued) => match rx.recv() {
+            Ok(reply) => finish_predict(router, reply, enqueued),
+            Err(_) => pool_gone(router),
+        },
+    }
+}
+
+/// Resolve a pending response only if it is already settled; hands the
+/// pending entry back otherwise.
+fn try_settle(router: &Router, p: Pending) -> Result<Response, Pending> {
+    match p {
+        Pending::Ready(resp) => Ok(resp),
+        Pending::InFlight(rx, enqueued) => match rx.try_recv() {
+            Ok(reply) => Ok(finish_predict(router, reply, enqueued)),
+            Err(mpsc::TryRecvError::Empty) => Err(Pending::InFlight(rx, enqueued)),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(pool_gone(router)),
+        },
+    }
+}
+
+fn finish_predict(router: &Router, reply: PredictReply, enqueued: Instant) -> Response {
+    let stats = &router.stats;
+    match reply.result {
+        Ok(y) => {
+            stats.predict_ok.fetch_add(1, Ordering::Relaxed);
+            stats.record_latency_us(enqueued.elapsed().as_micros() as u64);
+            Response::octets(200, http::encode_f64(&y))
+                .with_header("X-Model-Step", reply.model_step.to_string())
+        }
+        Err(msg) => {
+            stats.bad_request.fetch_add(1, Ordering::Relaxed);
+            Response::json(400, format!("{{ \"error\": \"{msg}\" }}\n"))
+        }
+    }
+}
+
+/// The replica pool disappeared mid-flight (hard shutdown).
+fn pool_gone(router: &Router) -> Response {
+    router.stats.predict_failed.fetch_add(1, Ordering::Relaxed);
+    Response::json(500, "{ \"error\": \"replica pool gone\" }\n".to_string())
+}
+
+fn route(router: &Router, req: &Request) -> Pending {
+    let stats = &router.stats;
+    let resp = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            stats.health.fetch_add(1, Ordering::Relaxed);
+            let draining = router.shared.draining.load(Ordering::Acquire);
+            Response::json(
+                200,
+                format!("{{ \"ok\": true, \"draining\": {draining} }}\n"),
+            )
+        }
+        ("GET", "/info") => {
+            stats.info.fetch_add(1, Ordering::Relaxed);
+            info_response(router)
+        }
+        ("GET", "/metrics") => {
+            stats.metrics.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, stats.snapshot().to_json())
+        }
+        ("POST", "/predict") => return predict(router, req),
+        ("POST", "/admin/reload") => {
+            stats.admin_reload.fetch_add(1, Ordering::Relaxed);
+            match router.control.reload() {
+                Ok(out) => {
+                    if out.reloaded {
+                        stats.reloads_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::json(
+                        200,
+                        format!(
+                            "{{ \"reloaded\": {}, \"step\": {} }}\n",
+                            out.reloaded, out.step
+                        ),
+                    )
+                }
+                Err(e) => {
+                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::json(500, format!("{{ \"error\": \"{e}\" }}\n"))
+                }
+            }
+        }
+        ("POST", "/admin/drain") => {
+            stats.admin_drain.fetch_add(1, Ordering::Relaxed);
+            router.shared.draining.store(true, Ordering::Release);
+            Response::json(200, "{ \"draining\": true }\n".to_string())
+        }
+        (_, "/health" | "/info" | "/metrics" | "/predict" | "/admin/reload" | "/admin/drain") => {
+            stats.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::json(405, "{ \"error\": \"method not allowed\" }\n".to_string())
+        }
+        _ => {
+            stats.not_found.fetch_add(1, Ordering::Relaxed);
+            Response::json(404, "{ \"error\": \"no such endpoint\" }\n".to_string())
+        }
+    };
+    Pending::Ready(resp)
+}
+
+fn info_response(router: &Router) -> Response {
+    let g = &router.graph;
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"model\": \"{}\",\n",
+            "  \"model_step\": {},\n",
+            "  \"elems\": {},\n",
+            "  \"n_nodes\": {},\n",
+            "  \"n_edges\": {},\n",
+            "  \"node_feats\": {},\n",
+            "  \"node_out\": {},\n",
+            "  \"max_batch\": {},\n",
+            "  \"replicas\": {}\n",
+            "}}\n",
+        ),
+        router.config.model_name,
+        router.shared.model_step.load(Ordering::Acquire),
+        router.config.elems,
+        g.n_local(),
+        g.n_edges(),
+        NODE_FEATS,
+        router.config.model.node_out,
+        router.config.max_batch,
+        router.config.replicas,
+    );
+    // Machine-readable copies in headers: the workspace's serde_json shim
+    // cannot parse, so clients frame on these instead of the JSON body.
+    Response::json(200, body)
+        .with_header("X-N-Nodes", router.graph.n_local().to_string())
+        .with_header("X-Node-Feats", NODE_FEATS.to_string())
+        .with_header(
+            "X-Model-Step",
+            router.shared.model_step.load(Ordering::Acquire).to_string(),
+        )
+}
+
+/// Validate and enqueue a `/predict` request. Acceptance is decided here
+/// (backpressure, draining, frame validation); the forward pass settles
+/// later, in request order, via the connection's pending queue.
+fn predict(router: &Router, req: &Request) -> Pending {
+    let stats = &router.stats;
+    if router.shared.draining.load(Ordering::Acquire) {
+        stats.predict_rejected.fetch_add(1, Ordering::Relaxed);
+        return Pending::Ready(
+            Response::json(503, "{ \"error\": \"draining\" }\n".to_string())
+                .with_header("Retry-After", "1".to_string()),
+        );
+    }
+    let expect = router.graph.n_local() * NODE_FEATS;
+    let x = match http::decode_f64(&req.body) {
+        Some(x) if x.len() == expect => x,
+        _ => {
+            stats.bad_request.fetch_add(1, Ordering::Relaxed);
+            return Pending::Ready(Response::json(
+                400,
+                format!(
+                    "{{ \"error\": \"body must be {expect} little-endian f64 values ({} bytes)\" }}\n",
+                    expect * 8
+                ),
+            ));
+        }
+    };
+    let started = Instant::now();
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let job = PredictJob { x, resp: resp_tx };
+    stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    match router.pool_tx.try_send(job) {
+        Ok(()) => Pending::InFlight(resp_rx, started),
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            stats.predict_rejected.fetch_add(1, Ordering::Relaxed);
+            Pending::Ready(
+                Response::json(503, "{ \"error\": \"queue full\" }\n".to_string())
+                    .with_header("Retry-After", "1".to_string()),
+            )
+        }
+    }
+}

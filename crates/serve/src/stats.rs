@@ -1,0 +1,304 @@
+//! Serving telemetry on the [`cgnn_comm::stats`] pattern: lock-free atomic
+//! counters updated on the request path, folded into a plain-old-data
+//! [`ServeSnapshot`] on demand (the `/metrics` endpoint).
+//!
+//! Everything here is allocation-free on the hot path: batch sizes and
+//! latencies land in **fixed-width histograms** (a direct-indexed array for
+//! batch sizes, power-of-two microsecond buckets for latency), so recording
+//! a request is a handful of relaxed atomic increments. Percentiles are
+//! computed from the histogram only when a snapshot is taken, and are
+//! upper bounds (the top edge of the bucket holding the requested rank).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of direct-indexed batch-size buckets: sizes `1..=BATCH_BUCKETS`
+/// count exactly, larger batches clamp into the last bucket.
+pub const BATCH_BUCKETS: usize = 64;
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// whose latency in microseconds lies in `[2^i, 2^(i+1))`; the top bucket
+/// absorbs everything slower (`2^31` µs is over half an hour).
+pub const LAT_BUCKETS: usize = 32;
+
+/// Lock-free serving counters shared by the HTTP workers, the replica
+/// pool, and the control plane. One instance per server.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// `/predict` requests answered `200` with a prediction.
+    pub predict_ok: AtomicU64,
+    /// `/predict` requests rejected `503` (queue full or draining).
+    pub predict_rejected: AtomicU64,
+    /// `/predict` requests failed `500` (replica pool gone mid-flight).
+    pub predict_failed: AtomicU64,
+    /// Requests answered `400` (malformed body or frame).
+    pub bad_request: AtomicU64,
+    /// Requests answered `404`/`405`.
+    pub not_found: AtomicU64,
+    /// `/health` hits.
+    pub health: AtomicU64,
+    /// `/info` hits.
+    pub info: AtomicU64,
+    /// `/metrics` hits.
+    pub metrics: AtomicU64,
+    /// `/admin/reload` hits.
+    pub admin_reload: AtomicU64,
+    /// Checkpoint reloads that actually swapped parameters in (admin- or
+    /// watcher-triggered).
+    pub reloads_applied: AtomicU64,
+    /// Checkpoint reload attempts that failed (unreadable or mismatched
+    /// checkpoint); the previous parameters keep serving.
+    pub reload_errors: AtomicU64,
+    /// `/admin/drain` hits.
+    pub admin_drain: AtomicU64,
+    /// Requests currently enqueued for the replica pool (gauge).
+    pub queue_depth: AtomicU64,
+    /// Forward passes executed by the replica pool.
+    pub batches: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    lat_hist: [AtomicU64; LAT_BUCKETS],
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            predict_ok: AtomicU64::new(0),
+            predict_rejected: AtomicU64::new(0),
+            predict_failed: AtomicU64::new(0),
+            bad_request: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            health: AtomicU64::new(0),
+            info: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            admin_reload: AtomicU64::new(0),
+            reloads_applied: AtomicU64::new(0),
+            reload_errors: AtomicU64::new(0),
+            admin_drain: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            lat_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServeStats {
+    /// Record one executed micro-batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = size.clamp(1, BATCH_BUCKETS) - 1;
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one served `/predict` latency (enqueue to reply) in µs.
+    pub fn record_latency_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LAT_BUCKETS - 1);
+        self.lat_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold the live counters into a plain-old-data snapshot.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            predict_ok: self.predict_ok.load(Ordering::Relaxed),
+            predict_rejected: self.predict_rejected.load(Ordering::Relaxed),
+            predict_failed: self.predict_failed.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            health: self.health.load(Ordering::Relaxed),
+            info: self.info.load(Ordering::Relaxed),
+            metrics: self.metrics.load(Ordering::Relaxed),
+            admin_reload: self.admin_reload.load(Ordering::Relaxed),
+            reloads_applied: self.reloads_applied.load(Ordering::Relaxed),
+            reload_errors: self.reload_errors.load(Ordering::Relaxed),
+            admin_drain: self.admin_drain.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
+            lat_hist: std::array::from_fn(|i| self.lat_hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-old-data fold of [`ServeStats`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// `/predict` requests answered `200`.
+    pub predict_ok: u64,
+    /// `/predict` requests rejected `503`.
+    pub predict_rejected: u64,
+    /// `/predict` requests failed `500`.
+    pub predict_failed: u64,
+    /// Requests answered `400`.
+    pub bad_request: u64,
+    /// Requests answered `404`/`405`.
+    pub not_found: u64,
+    /// `/health` hits.
+    pub health: u64,
+    /// `/info` hits.
+    pub info: u64,
+    /// `/metrics` hits.
+    pub metrics: u64,
+    /// `/admin/reload` hits.
+    pub admin_reload: u64,
+    /// Reloads that swapped parameters in.
+    pub reloads_applied: u64,
+    /// Reload attempts that failed.
+    pub reload_errors: u64,
+    /// `/admin/drain` hits.
+    pub admin_drain: u64,
+    /// Requests enqueued at snapshot time.
+    pub queue_depth: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// `batch_hist[i]` = batches of exactly `i + 1` requests (last bucket
+    /// clamps larger batches).
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// `lat_hist[i]` = requests with latency in `[2^i, 2^(i+1))` µs.
+    pub lat_hist: [u64; LAT_BUCKETS],
+}
+
+impl ServeSnapshot {
+    /// Largest batch size observed (0 when no batch ran yet).
+    pub fn max_batch(&self) -> usize {
+        self.batch_hist
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Mean executed batch size (0.0 when no batch ran yet).
+    pub fn mean_batch(&self) -> f64 {
+        let total: u64 = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        if self.batches == 0 {
+            0.0
+        } else {
+            total as f64 / self.batches as f64
+        }
+    }
+
+    /// Latency upper bound in µs at quantile `q` in `[0, 1]`: the top edge
+    /// of the histogram bucket holding the requested rank (0 when no
+    /// latency was recorded).
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.lat_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.lat_hist.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        (1u64 << LAT_BUCKETS) - 1
+    }
+
+    /// Render the snapshot as a self-describing JSON object (the
+    /// `/metrics` response body). Histograms are emitted sparsely as
+    /// `[bound, count]` pairs over non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let batch_pairs: Vec<String> = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{}, {}]", i + 1, c))
+            .collect();
+        let lat_pairs: Vec<String> = self
+            .lat_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{}, {}]", (1u64 << (i + 1)) - 1, c))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"requests\": {{\n",
+                "    \"predict_ok\": {},\n",
+                "    \"predict_rejected\": {},\n",
+                "    \"predict_failed\": {},\n",
+                "    \"bad_request\": {},\n",
+                "    \"not_found\": {},\n",
+                "    \"health\": {},\n",
+                "    \"info\": {},\n",
+                "    \"metrics\": {},\n",
+                "    \"admin_reload\": {},\n",
+                "    \"admin_drain\": {}\n",
+                "  }},\n",
+                "  \"reloads\": {{ \"applied\": {}, \"errors\": {} }},\n",
+                "  \"queue_depth\": {},\n",
+                "  \"batches\": {{ \"count\": {}, \"mean\": {:.3}, \"max\": {}, ",
+                "\"hist\": [{}] }},\n",
+                "  \"latency_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {}, ",
+                "\"hist_le\": [{}] }}\n",
+                "}}\n",
+            ),
+            self.predict_ok,
+            self.predict_rejected,
+            self.predict_failed,
+            self.bad_request,
+            self.not_found,
+            self.health,
+            self.info,
+            self.metrics,
+            self.admin_reload,
+            self.admin_drain,
+            self.reloads_applied,
+            self.reload_errors,
+            self.queue_depth,
+            self.batches,
+            self.mean_batch(),
+            self.max_batch(),
+            batch_pairs.join(", "),
+            self.latency_quantile_us(0.50),
+            self.latency_quantile_us(0.90),
+            self.latency_quantile_us(0.99),
+            lat_pairs.join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_bucket_and_quantile() {
+        let s = ServeStats::default();
+        for _ in 0..90 {
+            s.record_latency_us(10); // bucket [8, 16)
+        }
+        for _ in 0..10 {
+            s.record_latency_us(1000); // bucket [512, 1024)
+        }
+        s.record_batch(1);
+        s.record_batch(4);
+        s.record_batch(4);
+        s.record_batch(10_000); // clamps into the last bucket
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.max_batch(), BATCH_BUCKETS);
+        assert_eq!(snap.latency_quantile_us(0.50), 15);
+        assert_eq!(snap.latency_quantile_us(0.90), 15);
+        assert_eq!(snap.latency_quantile_us(0.99), 1023);
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\": 15"));
+        assert!(json.contains("\"predict_ok\": 0"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_formed() {
+        let snap = ServeStats::default().snapshot();
+        assert_eq!(snap.max_batch(), 0);
+        assert_eq!(snap.mean_batch(), 0.0);
+        assert_eq!(snap.latency_quantile_us(0.99), 0);
+        assert!(snap.to_json().contains("\"queue_depth\": 0"));
+    }
+}

@@ -1,0 +1,297 @@
+//! End-to-end tests of the serving plane over real TCP: bit-identity of
+//! served predictions, hot checkpoint reload under concurrent load, and
+//! queue-overflow backpressure.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cgnn_comm::LoopbackBackend;
+use cgnn_core::{GnnConfig, HaloContext, RankData, Trainer};
+use cgnn_graph::build_global_graph;
+use cgnn_mesh::{BoxMesh, TaylorGreen};
+use cgnn_serve::http::{decode_f64, encode_f64};
+use cgnn_serve::{HttpClient, ServeConfig, Server};
+use cgnn_session::CheckpointPolicy;
+
+const ELEMS: usize = 2;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        elems: ELEMS,
+        ..ServeConfig::default()
+    }
+}
+
+/// A reference trainer with the same graph/architecture/seed the server
+/// uses, for computing expected predictions in-process.
+fn reference_trainer(seed: u64) -> (Trainer, Arc<cgnn_graph::LocalGraph>) {
+    let mesh = BoxMesh::new((ELEMS, ELEMS, ELEMS), 2, (1.0, 1.0, 1.0), false);
+    let graph = Arc::new(build_global_graph(&mesh));
+    let ctx = HaloContext::single(LoopbackBackend::comm());
+    (Trainer::new(GnnConfig::small(), seed, 1e-3, ctx), graph)
+}
+
+fn sample_inputs(graph: &Arc<cgnn_graph::LocalGraph>, count: usize) -> Vec<RankData> {
+    let field = TaylorGreen::new(0.01);
+    (0..count)
+        .map(|i| RankData::tgv_autoencode(Arc::clone(graph), &field, i as f64 * 0.1))
+        .collect()
+}
+
+#[test]
+fn served_predictions_are_bit_identical_to_in_process_inference() {
+    let config = ServeConfig {
+        max_batch: 8,
+        // Generous assembly window so the concurrent burst below lands in
+        // one stacked forward pass.
+        batch_wait_us: 200_000,
+        ..test_config()
+    };
+    let seed = config.seed;
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+    let (trainer, graph) = reference_trainer(seed);
+    let samples = sample_inputs(&graph, 6);
+
+    let responses: Vec<(u16, Option<u64>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = samples
+            .iter()
+            .map(|sample| {
+                scope.spawn(move || {
+                    let mut client =
+                        HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+                    let body = encode_f64(sample.x.data());
+                    let resp = client.request("POST", "/predict", &body).expect("predict");
+                    let step = resp
+                        .header("x-model-step")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    let y = decode_f64(&resp.body).expect("f64 frame");
+                    (resp.status, step, y)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for (sample, (status, step, served)) in samples.iter().zip(&responses) {
+        assert_eq!(*status, 200);
+        assert_eq!(*step, Some(0), "seeded weights serve as step 0");
+        let expected = trainer.predict(sample);
+        assert_eq!(served.len(), expected.data().len());
+        for (a, b) in served.iter().zip(expected.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "served prediction diverged");
+        }
+    }
+
+    // The burst was served by stacked forward passes: fewer passes than
+    // requests, i.e. micro-batching actually engaged.
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.predict_ok, 6);
+    assert!(
+        snap.max_batch() >= 2,
+        "expected at least one stacked batch, got max {}",
+        snap.max_batch()
+    );
+
+    // Telemetry sanity over the wire.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let metrics = client.request("GET", "/metrics", &[]).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).expect("utf8 metrics");
+    assert!(text.contains("\"predict_ok\": 6"), "metrics: {text}");
+    assert!(text.contains("\"latency_us\""));
+
+    let info = client.request("GET", "/info", &[]).expect("info");
+    assert_eq!(
+        info.header("x-n-nodes"),
+        Some(graph.n_local().to_string().as_ref())
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_parameters_without_dropping_requests() {
+    let dir = std::env::temp_dir().join(format!("cgnn_serve_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let policy = CheckpointPolicy::every(1, &dir);
+
+    // Train a reference model and save two distinct checkpoints.
+    let (mut trainer, graph) = reference_trainer(7);
+    let samples = sample_inputs(&graph, 1);
+    for _ in 0..3 {
+        trainer.step(&samples[0]);
+    }
+    cgnn_tensor::save_checkpoint(
+        &trainer.params,
+        &trainer.opt.state(),
+        policy.path_for_step(1),
+    )
+    .expect("save step 1");
+    let expected_v1 = trainer.predict(&samples[0]);
+    for _ in 0..3 {
+        trainer.step(&samples[0]);
+    }
+    let expected_v2 = trainer.predict(&samples[0]);
+    assert_ne!(
+        expected_v1.data(),
+        expected_v2.data(),
+        "training must change the prediction for the reload to be observable"
+    );
+
+    let config = ServeConfig {
+        ckpt_dir: Some(dir.clone()),
+        // Poll slowly: the test exercises the synchronous /admin/reload.
+        poll_ms: 60_000,
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+    let body = encode_f64(samples[0].x.data());
+
+    // Startup already loaded step 1.
+    let mut client = HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+    let resp = client.request("POST", "/predict", &body).expect("predict");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-model-step"), Some("1"));
+    let served = decode_f64(&resp.body).expect("frame");
+    assert_eq!(served, expected_v1.data(), "step-1 weights must serve");
+
+    // Hammer /predict from background threads while the checkpoint
+    // changes under the server.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let in_flight: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let body = body.clone();
+            let e1 = expected_v1.data().to_vec();
+            let e2 = expected_v2.data().to_vec();
+            std::thread::spawn(move || {
+                let mut client =
+                    HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+                let mut served = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let resp = client.request("POST", "/predict", &body).expect("predict");
+                    assert_eq!(resp.status, 200, "no request may drop during reload");
+                    let y = decode_f64(&resp.body).expect("frame");
+                    // Every response is exactly one parameter set, never
+                    // a torn mixture, and the step header names which.
+                    match resp.header("x-model-step") {
+                        Some("1") => assert_eq!(y, e1, "step-1 response torn"),
+                        Some("2") => assert_eq!(y, e2, "step-2 response torn"),
+                        other => panic!("unexpected model step {other:?}"),
+                    }
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // New checkpoint lands mid-flight; /admin/reload picks it up.
+    std::thread::sleep(Duration::from_millis(50));
+    cgnn_tensor::save_checkpoint(
+        &trainer.params,
+        &trainer.opt.state(),
+        policy.path_for_step(2),
+    )
+    .expect("save step 2");
+    let reload = client
+        .request("POST", "/admin/reload", &[])
+        .expect("reload");
+    assert_eq!(reload.status, 200);
+    let reload_body = String::from_utf8(reload.body).expect("utf8");
+    assert!(
+        reload_body.contains("\"reloaded\": true") && reload_body.contains("\"step\": 2"),
+        "reload response: {reload_body}"
+    );
+
+    // New requests converge to the new parameters.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client.request("POST", "/predict", &body).expect("predict");
+        assert_eq!(resp.status, 200);
+        if resp.header("x-model-step") == Some("2") {
+            let y = decode_f64(&resp.body).expect("frame");
+            assert_eq!(y, expected_v2.data(), "step-2 weights must serve");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas never installed the reloaded parameters"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let background_served: usize = in_flight
+        .into_iter()
+        .map(|h| h.join().expect("load thread"))
+        .sum();
+    assert!(background_served > 0, "load threads never got through");
+
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn saturated_queue_rejects_with_503_instead_of_hanging() {
+    let config = ServeConfig {
+        // No replicas: nothing drains the queue, so saturation is
+        // deterministic — one slot fills and stays full.
+        replicas: 0,
+        queue_cap: 1,
+        http_workers: 4,
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+    let n_vals = server.n_local() * cgnn_graph::NODE_FEATS;
+    let body = encode_f64(&vec![0.25; n_vals]);
+
+    // First request occupies the single queue slot and hangs (no replica
+    // will ever serve it).
+    let hung = {
+        let body = body.clone();
+        std::thread::spawn(move || {
+            let mut client =
+                HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+            client.request("POST", "/predict", &body)
+        })
+    };
+    // Give it time to be enqueued.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().snapshot().queue_depth == 0 {
+        assert!(Instant::now() < deadline, "first request never enqueued");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Second request must be rejected immediately, not block.
+    let mut client = HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+    let t0 = Instant::now();
+    let resp = client.request("POST", "/predict", &body).expect("request");
+    assert_eq!(resp.status, 503, "saturated queue must reject");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "rejection must be immediate, took {:?}",
+        t0.elapsed()
+    );
+    assert!(resp.header("retry-after").is_some());
+    assert!(server.stats().snapshot().predict_rejected >= 1);
+
+    // Drain mode rejects even with queue room.
+    let drain = client.request("POST", "/admin/drain", &[]).expect("drain");
+    assert_eq!(drain.status, 200);
+    let resp = client.request("POST", "/predict", &body).expect("request");
+    assert_eq!(resp.status, 503, "draining server must refuse new work");
+
+    // Shutdown resolves the hung request (500: its job died with the
+    // queue) instead of deadlocking.
+    server.shutdown();
+    // The connection may also just close under shutdown (Err), which is
+    // an acceptable resolution too.
+    if let Ok(resp) = hung.join().expect("hung client thread") {
+        assert_eq!(resp.status, 500);
+    }
+}

@@ -293,6 +293,17 @@ impl Session {
     pub fn eval_dataset(&self) -> f64 {
         self.run(|h| h.eval_dataset())[0]
     }
+
+    /// Convenience: distributed inference on dataset sample `i` — every
+    /// rank runs [`RankHandle::predict`] on its shard of the sample and
+    /// the per-rank prediction matrices are returned in rank order.
+    ///
+    /// # Panics
+    /// If the session has no dataset (`SessionBuilder::dataset`) or `i`
+    /// is out of range.
+    pub fn predict(&self, i: usize) -> Vec<cgnn_tensor::Tensor> {
+        self.run(|h| h.predict(h.dataset_sample(i)))
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +368,32 @@ mod tests {
         assert_eq!(histories.len(), 2);
         assert_eq!(histories[0], histories[1], "replicas diverged");
         assert!(histories[0][4] < histories[0][0], "loss did not drop");
+    }
+
+    #[test]
+    fn session_predict_matches_batched_handle_predict() {
+        let field = TaylorGreen::new(0.01);
+        let times = [0.0, 0.1, 0.2];
+        let s = Session::builder()
+            .mesh(mesh())
+            .seed(5)
+            .dataset(Dataset::tgv_autoencode(&mesh(), &field, &times))
+            .build()
+            .unwrap();
+        // Session-level convenience, one sample at a time...
+        let singles: Vec<_> = (0..times.len()).map(|i| s.predict(i)[0].clone()).collect();
+        // ...must be bit-identical to one stacked micro-batch per rank.
+        let stacked = s.run(|h| {
+            let refs: Vec<_> = (0..times.len()).map(|i| h.dataset_sample(i)).collect();
+            h.predict_batch(&refs)
+        });
+        for (i, single) in singles.iter().enumerate() {
+            assert_eq!(
+                single.data(),
+                stacked[0][i].data(),
+                "sample {i} diverged between singleton and batched predict"
+            );
+        }
     }
 
     #[test]

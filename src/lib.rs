@@ -33,6 +33,7 @@ pub use cgnn_mesh as mesh;
 pub use cgnn_partition as partition;
 pub use cgnn_perf as perf;
 pub use cgnn_sem as sem;
+pub use cgnn_serve as serve;
 pub use cgnn_session as session;
 pub use cgnn_tensor as tensor;
 
