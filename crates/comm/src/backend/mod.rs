@@ -155,6 +155,22 @@ pub trait CommBackend: Send + Sync {
     fn on_rank_finish(&self, panicked: bool) {
         let _ = panicked;
     }
+
+    /// Liveness probe, write side: declare this rank dead to the world.
+    ///
+    /// Transports with peer tracking (both in-tree multi-rank transports)
+    /// record the death so peers blocked in collectives or receives abort
+    /// with [`RankFailure::PeerDead`](crate::RankFailure::PeerDead) instead
+    /// of hanging. The default is a no-op, correct for transports without
+    /// liveness tracking (e.g. single-rank loopbacks, where there is no
+    /// peer to warn).
+    fn mark_dead(&self) {}
+
+    /// Liveness probe, read side: ranks known to have died in this world,
+    /// in ascending order. Default: none.
+    fn dead_ranks(&self) -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 /// An in-flight non-blocking send, produced by [`CommBackend::isend`].
@@ -280,9 +296,23 @@ impl Backend {
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
+        self.launch_with(size, f, |backend| backend)
+    }
+
+    /// [`Backend::launch`] with a per-rank backend decorator: each rank's
+    /// transport is passed through `decorate` before being wired into its
+    /// [`Comm`] handle. This is how fault injection wraps a world (see
+    /// [`FaultInjector`](crate::FaultInjector)) without the transports
+    /// knowing about it; the identity decorator reproduces `launch`.
+    pub fn launch_with<T, F, D>(self, size: usize, f: F, decorate: D) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+        D: Fn(Arc<dyn CommBackend>) -> Arc<dyn CommBackend> + Sync,
+    {
         match self {
-            Backend::Threads => threads::ThreadWorld::launch(size, f),
-            Backend::Serial => serial::SerialBackend::launch(size, f),
+            Backend::Threads => threads::ThreadWorld::launch_with(size, f, decorate),
+            Backend::Serial => serial::SerialBackend::launch_with(size, f, decorate),
         }
     }
 }
@@ -297,6 +327,14 @@ impl std::fmt::Display for Backend {
 /// into a [`Comm`] handle, run `f`, and propagate panics. The start/finish
 /// hooks let backends impose a schedule (the serial backend's baton) and
 /// observe unwinds (so peers fail fast instead of hanging).
+///
+/// When several ranks panic, every handle is joined first and the most
+/// root-cause payload is re-raised: a genuine (non-fault) panic beats an
+/// injected [`RankFailure::Killed`](crate::RankFailure::Killed), which
+/// beats the secondary [`RankFailure::Stalled`](crate::RankFailure) /
+/// [`RankFailure::PeerDead`](crate::RankFailure) aborts that cascade from
+/// it — so a chaos run reports the fault, not its echoes, and a real bug
+/// is never masked by injected noise.
 pub(crate) fn run_ranks<T, F>(
     size: usize,
     f: F,
@@ -323,10 +361,17 @@ where
                 *slot = Some(f(&comm));
             }));
         }
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
         for h in handles {
             if let Err(e) = h.join() {
-                std::panic::resume_unwind(e);
+                panics.push(e);
             }
+        }
+        if let Some(root) = panics
+            .into_iter()
+            .min_by_key(|p| crate::fault::RankFailure::severity(p.as_ref()))
+        {
+            std::panic::resume_unwind(root);
         }
     });
     results

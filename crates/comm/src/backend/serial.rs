@@ -21,6 +21,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::backend::{run_ranks, CommBackend, P2pMsg, PostQueue, RecvOp};
 use crate::comm::Comm;
+use crate::fault::RankFailure;
 use crate::stats::RankStats;
 
 /// Scheduler + transport state, all behind one lock (uncontended by
@@ -30,6 +31,10 @@ struct State {
     turn: usize,
     /// Ranks whose SPMD closure has returned.
     done: Vec<bool>,
+    /// Ranks declared dead via the liveness probe (`mark_dead`): their
+    /// death is a *fault*, distinct from an orderly finish, and peers
+    /// abort with a typed [`RankFailure::PeerDead`] payload.
+    dead: Vec<bool>,
     /// Set when a rank panics or a deadlock is detected; wakes every
     /// waiter into a panic instead of an infinite sleep.
     poisoned: bool,
@@ -64,12 +69,24 @@ impl SerialBackend {
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
+        Self::launch_with(size, f, |backend| backend)
+    }
+
+    /// [`SerialBackend::launch`] with a per-rank backend decorator (see
+    /// [`Backend::launch_with`](crate::Backend::launch_with)).
+    pub fn launch_with<T, F, D>(size: usize, f: F, decorate: D) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+        D: Fn(Arc<dyn CommBackend>) -> Arc<dyn CommBackend> + Sync,
+    {
         assert!(size > 0, "world size must be positive");
         let world = Arc::new(SerialBackend {
             size,
             state: Mutex::new(State {
                 turn: 0,
                 done: vec![false; size],
+                dead: vec![false; size],
                 poisoned: false,
                 idle_passes: 0,
                 barrier_arrived: 0,
@@ -86,10 +103,10 @@ impl SerialBackend {
             stats: (0..size).map(|_| RankStats::default()).collect(),
         });
         run_ranks(size, f, |rank| {
-            Arc::new(SerialRank {
+            decorate(Arc::new(SerialRank {
                 rank,
                 world: Arc::clone(&world),
-            })
+            }))
         })
     }
 }
@@ -114,9 +131,20 @@ impl SerialRank {
     /// Aborts this rank when a peer has already panicked or the deadlock
     /// supervisor poisoned the world: continuing would block forever on
     /// a collective that can never complete. Every blocking comm entry
-    /// point inherits this abort contract.
-    fn check_poison(st: &State) {
+    /// point inherits this abort contract. When the poison traces back to
+    /// a declared rank death (the liveness probe), the panic payload is
+    /// the typed [`RankFailure::PeerDead`] so the session recovery loop
+    /// can classify it; an undiagnosed peer panic keeps the plain message.
+    fn check_poison(&self, st: &State) {
         if st.poisoned {
+            let dead: Vec<usize> = (0..self.world.size).filter(|&r| st.dead[r]).collect();
+            if !dead.is_empty() {
+                // detlint: allow(unwrap-in-lib, "liveness abort: unwinding into the recovery loop is how peers escape a dead world")
+                std::panic::panic_any(RankFailure::PeerDead {
+                    rank: self.rank,
+                    dead,
+                });
+            }
             // detlint: allow(unwrap-in-lib, "deliberate abort: continuing after a peer died would hang this rank forever")
             panic!("serial backend: a peer rank panicked or deadlocked");
         }
@@ -167,14 +195,14 @@ impl SerialRank {
             "serial backend invariant broken: comm op issued off-turn"
         );
         loop {
-            Self::check_poison(&st);
+            self.check_poison(&st);
             if let Some(r) = ready(&mut st) {
                 st.idle_passes = 0;
                 return r;
             }
             self.yield_turn(&mut st);
             while st.turn != self.rank {
-                Self::check_poison(&st);
+                self.check_poison(&st);
                 st = self
                     .world
                     .baton
@@ -187,7 +215,7 @@ impl SerialRank {
     /// A non-blocking state mutation performed while holding the baton.
     fn with_state<R>(&self, op: impl FnOnce(&mut State) -> R) -> R {
         let mut st = self.lock();
-        Self::check_poison(&st);
+        self.check_poison(&st);
         debug_assert_eq!(
             st.turn, self.rank,
             "serial backend invariant broken: comm op issued off-turn"
@@ -295,7 +323,7 @@ impl CommBackend for SerialRank {
         // everyone else queues in index order.
         let mut st = self.lock();
         while st.turn != self.rank {
-            Self::check_poison(&st);
+            self.check_poison(&st);
             st = self
                 .world
                 .baton
@@ -314,6 +342,19 @@ impl CommBackend for SerialRank {
             st.turn = Self::next_live(&st, self.rank, self.world.size);
         }
         self.world.baton.notify_all();
+    }
+
+    fn mark_dead(&self) {
+        // No turn assertion: the marking rank is about to unwind and may
+        // legitimately be the baton holder mid-operation.
+        let mut st = self.lock();
+        st.dead[self.rank] = true;
+        self.world.baton.notify_all();
+    }
+
+    fn dead_ranks(&self) -> Vec<usize> {
+        let st = self.lock();
+        (0..self.world.size).filter(|&r| st.dead[r]).collect()
     }
 }
 

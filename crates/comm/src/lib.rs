@@ -29,6 +29,13 @@
 //! exactly one rank on the calling thread, for code that owns a persistent
 //! trainer outside any SPMD region (the `cgnn-serve` replica pool).
 //!
+//! For chaos testing, [`FaultInjector`] decorates any transport with a
+//! deterministic, seeded [`FaultPlan`] (kill a rank at an exact comm op,
+//! poison a barrier, delay or drop a send), and the backends' liveness
+//! probe ([`CommBackend::mark_dead`] / [`CommBackend::dead_ranks`]) lets
+//! peers detect a death within a heartbeat instead of hanging — see the
+//! [`fault`] module docs.
+//!
 //! Because reductions are computed rank-ordered in the [`Comm`] layer from
 //! gathered contributions, *all* backends produce bit-identical arithmetic;
 //! they differ only in scheduling. Custom transports implement
@@ -39,6 +46,7 @@
 
 pub mod backend;
 pub mod comm;
+pub mod fault;
 pub mod stats;
 
 pub use backend::loopback::LoopbackBackend;
@@ -46,4 +54,5 @@ pub use backend::serial::SerialBackend;
 pub use backend::threads::ThreadWorld;
 pub use backend::{Backend, CommBackend, CompletedSend, PostQueue, RecvOp, SendOp};
 pub use comm::{Comm, RecvRequest, SendRequest, World};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan, RankFailure};
 pub use stats::{RankStats, StatsSnapshot};

@@ -233,6 +233,32 @@ pub const CGNN_SERVE_BENCH_REQS: EnvKnob = EnvKnob {
           example defaults to 20.",
 };
 
+/// Liveness-probe heartbeat of the threads comm backend: how often a
+/// blocked barrier/receive re-checks the dead set.
+pub const CGNN_FAULT_HEARTBEAT_MS: EnvKnob = EnvKnob {
+    name: "CGNN_FAULT_HEARTBEAT_MS",
+    default: "25",
+    doc: "Threads-backend liveness heartbeat (ms): how often blocked \
+          barriers and receives re-check for dead peers.",
+};
+
+/// Elastic-recovery budget: how many world rebuilds
+/// `Session::train_epochs_elastic` attempts before giving up.
+pub const CGNN_FAULT_MAX_RETRIES: EnvKnob = EnvKnob {
+    name: "CGNN_FAULT_MAX_RETRIES",
+    default: "4",
+    doc: "Elastic training recovery budget: world rebuilds attempted \
+          before `RetriesExhausted`.",
+};
+
+/// Seed for the chaos suite's seeded fault plans (CI sweeps it).
+pub const CGNN_FAULT_SEED: EnvKnob = EnvKnob {
+    name: "CGNN_FAULT_SEED",
+    default: "0",
+    doc: "Chaos-suite seed for `FaultPlan::seeded` (picks the victim \
+          rank and kill op); any fixed value replays the same failure.",
+};
+
 /// Fallback worker-count knob honored by the vendored rayon shim when
 /// `CGNN_NUM_THREADS` is unset (upstream rayon compatibility).
 pub const RAYON_NUM_THREADS: EnvKnob = EnvKnob {
@@ -266,6 +292,9 @@ pub const KNOBS: &[&EnvKnob] = &[
     &CGNN_SERVE_ELEMS,
     &CGNN_SERVE_BENCH_CLIENTS,
     &CGNN_SERVE_BENCH_REQS,
+    &CGNN_FAULT_HEARTBEAT_MS,
+    &CGNN_FAULT_MAX_RETRIES,
+    &CGNN_FAULT_SEED,
     &RAYON_NUM_THREADS,
 ];
 

@@ -9,6 +9,8 @@
 pub mod layout;
 pub mod partition;
 pub mod rcb;
+pub mod strategy;
 
 pub use layout::Layout;
 pub use partition::{Partition, Strategy};
+pub use strategy::{BlockStrategy, PartitionStrategy, PencilStrategy, RcbStrategy, SlabStrategy};

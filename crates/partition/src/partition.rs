@@ -83,6 +83,23 @@ impl Partition {
         Self::from_owner(owner, layout.num_ranks(), Some((layout, [sx, sy, sz])))
     }
 
+    /// Build a partition from an explicit element-to-rank owner map — the
+    /// constructor custom [`PartitionStrategy`](crate::PartitionStrategy)
+    /// implementations outside this crate use once they have computed an
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// If any rank in `0..n_ranks` receives no elements, or any owner
+    /// index is out of range: both indicate a broken strategy.
+    pub fn from_owner_map(owner: Vec<u32>, n_ranks: usize) -> Self {
+        assert!(
+            owner.iter().all(|&r| (r as usize) < n_ranks),
+            "owner map names a rank outside 0..{n_ranks}"
+        );
+        Self::from_owner(owner, n_ranks, None)
+    }
+
     fn from_owner(
         owner: Vec<u32>,
         n_ranks: usize,

@@ -1,0 +1,156 @@
+//! Object-safe partition strategies, mirroring how halo exchange is an
+//! object-safe `HaloExchange` trait in `cgnn-core`.
+//!
+//! [`Partition::new`] with the [`Strategy`] enum remains the concrete
+//! front door; this module lifts it behind `Arc<dyn PartitionStrategy>`
+//! so that *re-partitioning is a first-class, swappable operation*: the
+//! session stores the strategy it was built with and replays it for any
+//! world size — which is exactly what elastic recovery needs when a rank
+//! dies and the mesh must be decomposed again for the survivors. Custom
+//! partitioners (a METIS-like multilevel scheme, a workload-aware
+//! balancer) implement the trait and plug in without touching the enum.
+//!
+//! The in-tree impls are pure delegations to [`Partition::new`], so the
+//! trait refactor is behavior-preserving by construction — pinned by the
+//! `partition_strategy_props` property suite, which cross-checks trait
+//! and enum paths element by element.
+
+use std::sync::Arc;
+
+use cgnn_mesh::BoxMesh;
+
+use crate::partition::{Partition, Strategy};
+
+/// An object-safe domain-decomposition strategy: a named, reusable rule
+/// for assigning every mesh element to exactly one of `n_ranks` owners.
+///
+/// Implementations must be deterministic — the same `(mesh, n_ranks)`
+/// must produce the same owner map on every call, on every rank —
+/// because all ranks of an SPMD world re-derive the partition locally
+/// and communication schedules are built from it.
+pub trait PartitionStrategy: Send + Sync + std::fmt::Debug {
+    /// Display label for diagnostics and reports.
+    fn label(&self) -> &'static str;
+
+    /// Decompose `mesh` onto `n_ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Implementations inherit [`Partition::new`]'s contract: zero ranks
+    /// or more ranks than elements is a configuration error that fails
+    /// loudly rather than producing empty ranks.
+    fn partition(&self, mesh: &BoxMesh, n_ranks: usize) -> Partition;
+}
+
+/// Recursive coordinate bisection on element centroids — the strategy of
+/// choice for arbitrary (including post-failure) rank counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcbStrategy;
+
+/// 1D slabs along x, degrading to pencils when the axis is outgrown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabStrategy;
+
+/// 2D x-y pencils, degrading to blocks when the plane is outgrown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PencilStrategy;
+
+/// 3D surface-minimizing blocks, degrading to RCB for awkward counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockStrategy;
+
+impl PartitionStrategy for RcbStrategy {
+    fn label(&self) -> &'static str {
+        "rcb"
+    }
+
+    fn partition(&self, mesh: &BoxMesh, n_ranks: usize) -> Partition {
+        Partition::new(mesh, n_ranks, Strategy::Rcb)
+    }
+}
+
+impl PartitionStrategy for SlabStrategy {
+    fn label(&self) -> &'static str {
+        "slab"
+    }
+
+    fn partition(&self, mesh: &BoxMesh, n_ranks: usize) -> Partition {
+        Partition::new(mesh, n_ranks, Strategy::Slab)
+    }
+}
+
+impl PartitionStrategy for PencilStrategy {
+    fn label(&self) -> &'static str {
+        "pencil"
+    }
+
+    fn partition(&self, mesh: &BoxMesh, n_ranks: usize) -> Partition {
+        Partition::new(mesh, n_ranks, Strategy::Pencil)
+    }
+}
+
+impl PartitionStrategy for BlockStrategy {
+    fn label(&self) -> &'static str {
+        "block"
+    }
+
+    fn partition(&self, mesh: &BoxMesh, n_ranks: usize) -> Partition {
+        Partition::new(mesh, n_ranks, Strategy::Block)
+    }
+}
+
+impl Strategy {
+    /// This enum variant as a shareable trait object — the bridge from
+    /// the concrete front door to `Arc<dyn PartitionStrategy>` consumers
+    /// (the session builder, the recovery loop).
+    pub fn object(self) -> Arc<dyn PartitionStrategy> {
+        match self {
+            Strategy::Slab => Arc::new(SlabStrategy),
+            Strategy::Pencil => Arc::new(PencilStrategy),
+            Strategy::Block => Arc::new(BlockStrategy),
+            Strategy::Rcb => Arc::new(RcbStrategy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_delegate_to_the_enum_path() {
+        let mesh = BoxMesh::unit_cube(4, 2);
+        for strategy in [
+            Strategy::Slab,
+            Strategy::Pencil,
+            Strategy::Block,
+            Strategy::Rcb,
+        ] {
+            let via_enum = Partition::new(&mesh, 4, strategy);
+            let via_trait = strategy.object().partition(&mesh, 4);
+            assert_eq!(
+                via_enum.owners(),
+                via_trait.owners(),
+                "{strategy:?}: trait object must preserve the enum behavior"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Strategy::Slab.object().label(), "slab");
+        assert_eq!(Strategy::Pencil.object().label(), "pencil");
+        assert_eq!(Strategy::Block.object().label(), "block");
+        assert_eq!(Strategy::Rcb.object().label(), "rcb");
+    }
+
+    #[test]
+    fn strategies_are_deterministic_across_calls() {
+        let mesh = BoxMesh::unit_cube(5, 1);
+        let s: Arc<dyn PartitionStrategy> = Arc::new(RcbStrategy);
+        assert_eq!(
+            s.partition(&mesh, 7).owners(),
+            s.partition(&mesh, 7).owners()
+        );
+    }
+}

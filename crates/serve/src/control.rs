@@ -112,6 +112,12 @@ impl ControlPlane {
     /// if it is newer than what is being served. No-op without a watched
     /// directory. Validation failures leave the served parameters
     /// untouched and return the error.
+    ///
+    /// The scan skips corrupt files (e.g. a checkpoint the trainer died
+    /// in the middle of writing) in favor of the newest one that parses;
+    /// but when corrupt files exist and **nothing** valid remains, that
+    /// is an error — the operator pointed at real checkpoints, so
+    /// silently serving seeded weights would be corruption.
     pub fn reload(&self) -> std::io::Result<ReloadOutcome> {
         let serving = ReloadOutcome {
             reloaded: false,
@@ -120,7 +126,14 @@ impl ControlPlane {
         let Some(dir) = &self.dir else {
             return Ok(serving);
         };
-        let Some(path) = CheckpointPolicy::latest(dir)? else {
+        let report = CheckpointPolicy::latest_report(dir)?;
+        let Some(path) = report.valid else {
+            if let Some(corpse) = report.rejected.first() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("no valid checkpoint in {}: {corpse}", dir.display()),
+                ));
+            }
             return Ok(serving);
         };
         let step = CheckpointPolicy::step_of(&path).ok_or_else(|| {

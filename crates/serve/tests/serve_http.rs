@@ -5,6 +5,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+// Workspace-shared bounded-polling helpers (no fixed sleeps in tests).
+#[path = "../../../tests/common/mod.rs"]
+mod common;
+
 use cgnn_comm::LoopbackBackend;
 use cgnn_core::{GnnConfig, HaloContext, RankData, Trainer};
 use cgnn_graph::build_global_graph;
@@ -163,9 +167,11 @@ fn hot_reload_swaps_parameters_without_dropping_requests() {
     // Hammer /predict from background threads while the checkpoint
     // changes under the server.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let in_flight: Vec<_> = (0..3)
         .map(|_| {
             let stop = Arc::clone(&stop);
+            let hammered = Arc::clone(&hammered);
             let body = body.clone();
             let e1 = expected_v1.data().to_vec();
             let e2 = expected_v2.data().to_vec();
@@ -185,14 +191,19 @@ fn hot_reload_swaps_parameters_without_dropping_requests() {
                         other => panic!("unexpected model step {other:?}"),
                     }
                     served += 1;
+                    hammered.fetch_add(1, std::sync::atomic::Ordering::Release);
                 }
                 served
             })
         })
         .collect();
 
-    // New checkpoint lands mid-flight; /admin/reload picks it up.
-    std::thread::sleep(Duration::from_millis(50));
+    // The new checkpoint lands only once load is provably in flight (the
+    // background threads have served step-1 responses), not after a fixed
+    // sleep that may or may not cover their startup.
+    common::wait_until(common::generous(), "load threads to start serving", || {
+        hammered.load(std::sync::atomic::Ordering::Acquire) >= 3
+    });
     cgnn_tensor::save_checkpoint(
         &trainer.params,
         &trainer.opt.state(),
@@ -210,20 +221,17 @@ fn hot_reload_swaps_parameters_without_dropping_requests() {
     );
 
     // New requests converge to the new parameters.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        let resp = client.request("POST", "/predict", &body).expect("predict");
-        assert_eq!(resp.status, 200);
-        if resp.header("x-model-step") == Some("2") {
-            let y = decode_f64(&resp.body).expect("frame");
-            assert_eq!(y, expected_v2.data(), "step-2 weights must serve");
-            break;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "replicas never installed the reloaded parameters"
-        );
-    }
+    let y = common::wait_for(
+        common::generous(),
+        "replicas to install the reloaded parameters",
+        || {
+            let resp = client.request("POST", "/predict", &body).expect("predict");
+            assert_eq!(resp.status, 200);
+            (resp.header("x-model-step") == Some("2"))
+                .then(|| decode_f64(&resp.body).expect("frame"))
+        },
+    );
+    assert_eq!(y, expected_v2.data(), "step-2 weights must serve");
     stop.store(true, std::sync::atomic::Ordering::Release);
     let background_served: usize = in_flight
         .into_iter()
@@ -260,12 +268,9 @@ fn saturated_queue_rejects_with_503_instead_of_hanging() {
             client.request("POST", "/predict", &body)
         })
     };
-    // Give it time to be enqueued.
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while server.stats().snapshot().queue_depth == 0 {
-        assert!(Instant::now() < deadline, "first request never enqueued");
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    common::wait_until(common::generous(), "first request to enqueue", || {
+        server.stats().snapshot().queue_depth > 0
+    });
 
     // Second request must be rejected immediately, not block.
     let mut client = HttpClient::connect_retry(addr, Duration::from_secs(5)).expect("connect");

@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use cgnn_comm::{Backend, Comm};
+use cgnn_comm::{Backend, Comm, FaultPlan};
 use cgnn_core::{GnnConfig, HaloContext, HaloExchange, HaloExchangeMode};
 use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
 use cgnn_mesh::BoxMesh;
-use cgnn_partition::{Partition, Strategy};
+use cgnn_partition::{PartitionStrategy, Strategy};
 
 use crate::checkpoint::CheckpointPolicy;
 use crate::dataset::Dataset;
@@ -113,7 +113,7 @@ impl std::error::Error for SessionError {}
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     mesh: Option<BoxMesh>,
-    strategy: Strategy,
+    strategy: Arc<dyn PartitionStrategy>,
     ranks: usize,
     exchange: ExchangeSpec,
     /// `None` = resolve from the environment at `build()` time, so an
@@ -125,13 +125,14 @@ pub struct SessionBuilder {
     lr: f64,
     dataset: Option<Dataset>,
     checkpoint: Option<CheckpointPolicy>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SessionBuilder {
     fn default() -> Self {
         SessionBuilder {
             mesh: None,
-            strategy: Strategy::Block,
+            strategy: Strategy::Block.object(),
             ranks: 1,
             exchange: ExchangeSpec::Mode(HaloExchangeMode::NeighborAllToAll),
             backend: None,
@@ -140,6 +141,7 @@ impl Default for SessionBuilder {
             lr: 1e-3,
             dataset: None,
             checkpoint: None,
+            fault_plan: None,
         }
     }
 }
@@ -153,7 +155,27 @@ impl SessionBuilder {
 
     /// Element-to-rank decomposition strategy (default [`Strategy::Block`]).
     pub fn partition(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy.object();
+        self
+    }
+
+    /// Custom element-to-rank decomposition: any object-safe
+    /// [`PartitionStrategy`] implementation. The session *stores* the
+    /// strategy object and replays it whenever it must re-decompose the
+    /// mesh — in particular when elastic recovery rebuilds the world at a
+    /// smaller rank count after a failure.
+    pub fn partition_with(mut self, strategy: Arc<dyn PartitionStrategy>) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Arm a deterministic fault-injection plan: every run of the built
+    /// session wraps each rank's transport in a
+    /// [`FaultInjector`](cgnn_comm::FaultInjector) executing `plan` (for
+    /// the session's current recovery attempt). This is the chaos-testing
+    /// entry point; sessions without a plan pay nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -260,7 +282,7 @@ impl SessionBuilder {
         let (partition, graphs) = if self.ranks == 1 {
             (None, vec![Arc::new(build_global_graph(&mesh))])
         } else {
-            let part = Partition::new(&mesh, self.ranks, self.strategy);
+            let part = self.strategy.partition(&mesh, self.ranks);
             let graphs = build_distributed_graph(&mesh, &part)
                 .into_iter()
                 .map(Arc::new)
@@ -271,6 +293,7 @@ impl SessionBuilder {
             Arc::new(mesh),
             partition,
             graphs,
+            self.strategy,
             self.exchange,
             self.backend.unwrap_or_else(Backend::from_env),
             self.config,
@@ -278,6 +301,7 @@ impl SessionBuilder {
             self.lr,
             self.dataset.map(Arc::new),
             self.checkpoint,
+            self.fault_plan,
         ))
     }
 }

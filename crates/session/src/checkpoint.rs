@@ -18,6 +18,40 @@ use cgnn_core::Trainer;
 /// order == numeric order up to 10^10 steps.
 const STEP_DIGITS: usize = 10;
 
+/// A checkpoint file rejected during a [`CheckpointPolicy::latest_report`]
+/// scan: which file, and the typed parse/validation error explaining why
+/// (truncation, checksum mismatch, malformed framing, unreadable file).
+#[derive(Debug)]
+pub struct CorruptCheckpoint {
+    /// The rejected `step-<n>.ckpt` file.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: io::Error,
+}
+
+impl std::fmt::Display for CorruptCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt checkpoint {}: {}",
+            self.path.display(),
+            self.reason
+        )
+    }
+}
+
+/// Outcome of a newest-first checkpoint-directory scan
+/// ([`CheckpointPolicy::latest_report`]): the newest checkpoint that
+/// parses, plus every newer file that had to be skipped as corrupt.
+#[derive(Debug, Default)]
+pub struct LatestReport {
+    /// The newest valid checkpoint, if any file parsed.
+    pub valid: Option<PathBuf>,
+    /// Checkpoint files rejected before (or instead of) finding a valid
+    /// one, newest first.
+    pub rejected: Vec<CorruptCheckpoint>,
+}
+
 /// An every-k-step checkpoint schedule with retention, configured through
 /// `Session::builder().checkpoint(..)`.
 ///
@@ -82,25 +116,57 @@ impl CheckpointPolicy {
         digits.parse().ok()
     }
 
-    /// The most recent checkpoint in `dir` (highest step number), if any —
-    /// the crash-recovery entry point: feed it to `Session::restore`.
-    /// Returns `Ok(None)` when the directory does not exist or holds no
-    /// checkpoint files.
+    /// The most recent **valid** checkpoint in `dir` (highest step number
+    /// that parses), if any — the crash-recovery entry point: feed it to
+    /// `Session::restore`. Returns `Ok(None)` when the directory does not
+    /// exist or holds no valid checkpoint files.
+    ///
+    /// Candidates are validated newest-first by fully parsing them
+    /// (container framing, bounds, and the trailing checksum), so a
+    /// truncated or bit-flipped file — e.g. one the writer died in the
+    /// middle of — is *skipped* in favor of the previous intact
+    /// checkpoint instead of being handed to `restore` to choke on.
+    /// Callers that must distinguish "no checkpoints" from "only corrupt
+    /// checkpoints" use [`CheckpointPolicy::latest_report`].
     pub fn latest(dir: impl AsRef<Path>) -> io::Result<Option<PathBuf>> {
+        Ok(Self::latest_report(dir)?.valid)
+    }
+
+    /// Like [`CheckpointPolicy::latest`], but also report every checkpoint
+    /// file that was rejected as corrupt during the newest-first scan.
+    /// The outer `Err` is reserved for directory-scan failures; corrupt
+    /// files are data, not errors, so a caller can decide whether
+    /// "nothing valid but corpses present" is fatal (the serve control
+    /// plane treats it as a startup error) or survivable (the elastic
+    /// recovery loop falls back to seeded state).
+    pub fn latest_report(dir: impl AsRef<Path>) -> io::Result<LatestReport> {
         let dir = dir.as_ref();
         if !dir.exists() {
-            return Ok(None);
+            return Ok(LatestReport::default());
         }
-        let mut best: Option<(u64, PathBuf)> = None;
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
-            if let Some(step) = Self::step_of(&path) {
-                if best.as_ref().is_none_or(|(s, _)| step > *s) {
-                    best = Some((step, path));
+        let mut steps: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
+            .filter_map(|e| {
+                let path = e.ok()?.path();
+                Self::step_of(&path).map(|s| (s, path))
+            })
+            .collect();
+        steps.sort_unstable_by_key(|(s, _)| std::cmp::Reverse(*s));
+        let mut rejected = Vec::new();
+        for (_, path) in steps {
+            match cgnn_tensor::load_checkpoint(&path) {
+                Ok(_) => {
+                    return Ok(LatestReport {
+                        valid: Some(path),
+                        rejected,
+                    })
                 }
+                Err(reason) => rejected.push(CorruptCheckpoint { path, reason }),
             }
         }
-        Ok(best.map(|(_, p)| p))
+        Ok(LatestReport {
+            valid: None,
+            rejected,
+        })
     }
 
     /// Write the checkpoint for `step` and prune beyond the retention
@@ -163,18 +229,72 @@ mod tests {
         assert!(!p.is_due(6));
     }
 
+    /// Write a real (parse-valid) checkpoint at `path`.
+    fn valid_ckpt(path: &Path) {
+        let (params, _) = cgnn_core::ConsistentGnn::seeded(cgnn_core::GnnConfig::small(), 0);
+        let opt = cgnn_tensor::AdamState {
+            t: 0,
+            m: vec![],
+            v: vec![],
+        };
+        cgnn_tensor::save_checkpoint(&params, &opt, path).expect("save checkpoint");
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cgnn_policy_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
     #[test]
     fn latest_finds_highest_step() {
-        let dir = std::env::temp_dir().join(format!("cgnn_policy_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir = tmp_dir("latest");
         let p = CheckpointPolicy::every(1, &dir);
         for s in [3u64, 12, 7] {
-            std::fs::write(p.path_for_step(s), b"stub").expect("write");
+            valid_ckpt(&p.path_for_step(s));
         }
         std::fs::write(dir.join("unrelated.txt"), b"x").expect("write");
         let latest = CheckpointPolicy::latest(&dir).expect("scan");
         assert_eq!(latest, Some(p.path_for_step(12)));
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(CheckpointPolicy::latest(&dir).expect("scan"), None);
+    }
+
+    #[test]
+    fn latest_skips_corrupt_newest_and_falls_back() {
+        let dir = tmp_dir("fallback");
+        let p = CheckpointPolicy::every(1, &dir);
+        valid_ckpt(&p.path_for_step(3));
+        // Step 12 is newest but truncated — a writer that died mid-save.
+        valid_ckpt(&p.path_for_step(12));
+        let full = std::fs::read(p.path_for_step(12)).expect("read");
+        std::fs::write(p.path_for_step(12), &full[..full.len() / 2]).expect("truncate");
+        let report = CheckpointPolicy::latest_report(&dir).expect("scan");
+        assert_eq!(report.valid, Some(p.path_for_step(3)), "must fall back");
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].path, p.path_for_step(12));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_corrupt_is_no_valid_checkpoint_not_a_panic() {
+        let dir = tmp_dir("corrupt");
+        let p = CheckpointPolicy::every(1, &dir);
+        // A bit-flipped file and a garbage file: both typed rejections.
+        valid_ckpt(&p.path_for_step(5));
+        let mut bytes = std::fs::read(p.path_for_step(5)).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(p.path_for_step(5), &bytes).expect("flip");
+        std::fs::write(p.path_for_step(9), b"not a checkpoint").expect("write");
+        let report = CheckpointPolicy::latest_report(&dir).expect("scan");
+        assert_eq!(report.valid, None);
+        assert_eq!(report.rejected.len(), 2, "both corpses reported");
+        assert_eq!(
+            CheckpointPolicy::latest(&dir).expect("scan"),
+            None,
+            "latest() treats an all-corrupt directory as empty"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

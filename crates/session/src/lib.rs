@@ -50,6 +50,19 @@
 //! seeded shuffle, with opt-in every-k-step checkpointing via
 //! [`SessionBuilder::checkpoint`] and [`CheckpointPolicy`]. See
 //! `docs/TRAINING.md` at the repository root for the end-to-end guide.
+//!
+//! Training is also **elastic**: when a rank dies mid-run (detected
+//! through the comm layer's liveness probe, or injected by a
+//! [`FaultPlan`](cgnn_comm::FaultPlan) via [`SessionBuilder::fault_plan`]),
+//! [`Session::train_epochs_elastic`] re-partitions the mesh over the
+//! survivors with the session's stored
+//! [`PartitionStrategy`](cgnn_partition::PartitionStrategy), restores
+//! parameters + optimizer state from the newest valid checkpoint
+//! ([`CheckpointPolicy::latest`], which skips corrupt files), and resumes
+//! the deterministic `(seed, epoch)` schedule — producing the same
+//! post-recovery loss trajectory as a fresh run restored from that
+//! checkpoint at the smaller world size. See `docs/FAULT_TOLERANCE.md`
+//! and the [`recovery`] module docs.
 
 #![warn(missing_docs)]
 
@@ -57,10 +70,12 @@ pub mod builder;
 pub mod checkpoint;
 pub mod dataset;
 pub mod handle;
+pub mod recovery;
 pub mod session;
 
 pub use builder::{ExchangeSpec, SessionBuilder, SessionError};
-pub use checkpoint::CheckpointPolicy;
+pub use checkpoint::{CheckpointPolicy, CorruptCheckpoint, LatestReport};
 pub use dataset::Dataset;
 pub use handle::RankHandle;
+pub use recovery::{ElasticError, ElasticReport, FaultTolerance, RecoveryEvent, WorldFailure};
 pub use session::Session;

@@ -5,14 +5,14 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use cgnn_comm::Backend;
+use cgnn_comm::{Backend, FaultInjector, FaultPlan};
 use cgnn_core::{ConsistentGnn, EpochReport, GnnConfig, Trainer};
-use cgnn_graph::LocalGraph;
+use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
 use cgnn_mesh::{BoxMesh, TaylorGreen};
-use cgnn_partition::Partition;
+use cgnn_partition::{Partition, PartitionStrategy};
 use cgnn_tensor::{AdamState, ParamSet};
 
-use crate::builder::{ExchangeSpec, SessionBuilder};
+use crate::builder::{ExchangeSpec, SessionBuilder, SessionError};
 use crate::checkpoint::CheckpointPolicy;
 use crate::dataset::Dataset;
 use crate::handle::{RankDataset, RankHandle};
@@ -34,6 +34,10 @@ pub struct Session {
     mesh: Arc<BoxMesh>,
     partition: Option<Partition>,
     graphs: Vec<Arc<LocalGraph>>,
+    /// The decomposition rule the partition came from, kept so the
+    /// session can re-partition for a different world size
+    /// ([`Session::resized`], the elastic recovery path).
+    strategy: Arc<dyn PartitionStrategy>,
     exchange: ExchangeSpec,
     backend: Backend,
     config: GnnConfig,
@@ -48,6 +52,12 @@ pub struct Session {
     /// Opt-in every-k-step checkpoint schedule applied during epoch
     /// training.
     ckpt_policy: Option<CheckpointPolicy>,
+    /// Armed fault-injection script, wrapped around every rank's
+    /// transport on each run (chaos testing; `None` costs nothing).
+    fault_plan: Option<FaultPlan>,
+    /// Which recovery attempt this session is: selects the armed faults
+    /// of the plan (0 = initial world; bumped by the elastic loop).
+    pub(crate) attempt: u32,
 }
 
 impl std::fmt::Debug for Session {
@@ -61,6 +71,8 @@ impl std::fmt::Debug for Session {
             .field("seed", &self.seed)
             .field("lr", &self.lr)
             .field("restored", &self.checkpoint.is_some())
+            .field("strategy", &self.strategy.label())
+            .field("attempt", &self.attempt)
             .finish()
     }
 }
@@ -71,10 +83,12 @@ impl Session {
         SessionBuilder::default()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assembled(
         mesh: Arc<BoxMesh>,
         partition: Option<Partition>,
         graphs: Vec<Arc<LocalGraph>>,
+        strategy: Arc<dyn PartitionStrategy>,
         exchange: ExchangeSpec,
         backend: Backend,
         config: GnnConfig,
@@ -82,11 +96,13 @@ impl Session {
         lr: f64,
         dataset: Option<Arc<Dataset>>,
         ckpt_policy: Option<CheckpointPolicy>,
+        fault_plan: Option<FaultPlan>,
     ) -> Self {
         Session {
             mesh,
             partition,
             graphs,
+            strategy,
             exchange,
             backend,
             config,
@@ -95,6 +111,8 @@ impl Session {
             checkpoint: None,
             dataset,
             ckpt_policy,
+            fault_plan,
+            attempt: 0,
         }
     }
 
@@ -148,6 +166,23 @@ impl Session {
         self.ckpt_policy.as_ref()
     }
 
+    /// The decomposition strategy this session re-partitions with.
+    pub fn partition_strategy(&self) -> &Arc<dyn PartitionStrategy> {
+        &self.strategy
+    }
+
+    /// The armed fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Which recovery attempt this session is (0 = initial world; bumped
+    /// by [`Session::train_epochs_elastic`] after each recovery). Selects
+    /// the armed faults of an attached [`FaultPlan`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
     /// A sibling session differing only in its exchange strategy. The
     /// expensive state (mesh, partition, per-rank graphs) is shared, not
     /// rebuilt — this is how mode-comparison sweeps (Fig. 6, traffic
@@ -193,11 +228,12 @@ impl Session {
 
     /// Cheap structural copy: shares mesh/partition/graphs, keeps the
     /// recipe (exchange, backend, config, seed, lr, dataset, checkpoints).
-    fn shallow_clone(&self) -> Session {
+    pub(crate) fn shallow_clone(&self) -> Session {
         Session {
             mesh: Arc::clone(&self.mesh),
             partition: self.partition.clone(),
             graphs: self.graphs.clone(),
+            strategy: Arc::clone(&self.strategy),
             exchange: self.exchange.clone(),
             backend: self.backend,
             config: self.config,
@@ -206,7 +242,47 @@ impl Session {
             checkpoint: self.checkpoint.clone(),
             dataset: self.dataset.clone(),
             ckpt_policy: self.ckpt_policy.clone(),
+            fault_plan: self.fault_plan.clone(),
+            attempt: self.attempt,
         }
+    }
+
+    /// A sibling session decomposed for a different world size: the mesh
+    /// is re-partitioned with the session's stored
+    /// [`PartitionStrategy`] and every rank's reduced graph is rebuilt;
+    /// everything else (model recipe, seed, dataset, checkpoint policy,
+    /// fault plan, restored state) carries over. This is the
+    /// re-partitioning step of elastic recovery: after a rank dies, the
+    /// survivors' new world is exactly `self.resized(survivors)`.
+    ///
+    /// Model parameters are partition-independent (replicas are
+    /// bit-identical), so a restored checkpoint remains valid across a
+    /// resize — only the data decomposition changes.
+    pub fn resized(&self, ranks: usize) -> Result<Session, SessionError> {
+        if ranks == 0 {
+            return Err(SessionError::ZeroRanks);
+        }
+        if self.mesh.num_elements() < ranks {
+            return Err(SessionError::TooManyRanks {
+                ranks,
+                elements: self.mesh.num_elements(),
+            });
+        }
+        let (partition, graphs) = if ranks == 1 {
+            (None, vec![Arc::new(build_global_graph(&self.mesh))])
+        } else {
+            let part = self.strategy.partition(&self.mesh, ranks);
+            let graphs = build_distributed_graph(&self.mesh, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            (Some(part), graphs)
+        };
+        Ok(Session {
+            partition,
+            graphs,
+            ..self.shallow_clone()
+        })
     }
 
     /// Run `f` on every rank of the configured backend, returning the
@@ -219,7 +295,7 @@ impl Session {
         T: Send,
         F: Fn(&mut RankHandle) -> T + Sync,
     {
-        self.backend.launch(self.ranks(), |comm| {
+        let spmd = |comm: &cgnn_comm::Comm| {
             let graph = Arc::clone(&self.graphs[comm.rank()]);
             let ctx = self.exchange.context(comm, &graph);
             let mut trainer = Trainer::new(self.config, self.seed, self.lr, ctx);
@@ -243,7 +319,15 @@ impl Session {
                 self.ckpt_policy.clone(),
             );
             f(&mut handle)
-        })
+        };
+        match &self.fault_plan {
+            Some(plan) => self.backend.launch_with(
+                self.ranks(),
+                spmd,
+                FaultInjector::decorator(plan.clone(), self.attempt),
+            ),
+            None => self.backend.launch(self.ranks(), spmd),
+        }
     }
 
     /// Convenience: train every rank on the Taylor-Green autoencoding task

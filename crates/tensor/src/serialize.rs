@@ -11,8 +11,15 @@
 //! * **training checkpoint** (`save_checkpoint`/`load_checkpoint`): magic
 //!   `CGNC`, version u32, an embedded params container, then the Adam
 //!   state — step count u64, moment count u32, and the first/second moment
-//!   tensors (rows u64, cols u64, f64 data each). Restoring both makes a
-//!   resumed run **bit-identical** to the uninterrupted one.
+//!   tensors (rows u64, cols u64, f64 data each), then (version ≥ 2) a
+//!   trailing FNV-1a-64 checksum of every preceding byte. Restoring both
+//!   makes a resumed run **bit-identical** to the uninterrupted one.
+//!
+//! Corruption is a *typed* failure, never a panic: a truncated file
+//! surfaces as `UnexpectedEof`, a flipped bit as a checksum mismatch
+//! (`InvalidData`), and implausible length fields (a flipped bit in a
+//! count) are bounds-checked before any allocation. Version-1 training
+//! checkpoints (no trailing checksum) remain readable.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -24,7 +31,77 @@ use crate::tensor::Tensor;
 const MAGIC: &[u8; 4] = b"CGNN";
 const VERSION: u32 = 1;
 const CKPT_MAGIC: &[u8; 4] = b"CGNC";
-const CKPT_VERSION: u32 = 1;
+const CKPT_VERSION: u32 = 2;
+/// Oldest training-checkpoint version still readable (pre-checksum).
+const CKPT_MIN_VERSION: u32 = 1;
+
+/// Bounds on length fields, enforced *before* allocating: a corrupted
+/// count must become an `InvalidData` error, not an OOM abort.
+const MAX_TENSOR_ELEMS: u64 = 1 << 26;
+const MAX_NAME_LEN: u32 = 1 << 16;
+const MAX_ITEM_COUNT: u32 = 1 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A writer that FNV-1a-hashes every byte passing through it.
+struct HashingWriter<W: Write> {
+    inner: W,
+    digest: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.digest = fnv1a(self.digest, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that FNV-1a-hashes every byte passing through it.
+struct HashingReader<R: Read> {
+    inner: R,
+    digest: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.digest = fnv1a(self.digest, &buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Serialize a parameter set to a writer.
 pub fn write_params<W: Write>(params: &ParamSet, mut w: W) -> io::Result<()> {
@@ -51,15 +128,24 @@ fn write_tensor<W: Write>(t: &Tensor, w: &mut W) -> io::Result<()> {
 }
 
 fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
-    let rows = read_u64(r)? as usize;
-    let cols = read_u64(r)? as usize;
-    let mut data = Vec::with_capacity(rows * cols);
+    let rows = read_u64(r)?;
+    let cols = read_u64(r)?;
+    let elems = rows
+        .checked_mul(cols)
+        .filter(|&n| n <= MAX_TENSOR_ELEMS)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible tensor shape {rows}x{cols} (corrupted checkpoint?)"),
+            )
+        })?;
+    let mut data = Vec::with_capacity(elems as usize);
     let mut buf = [0u8; 8];
-    for _ in 0..rows * cols {
+    for _ in 0..elems {
         r.read_exact(&mut buf)?;
         data.push(f64::from_le_bytes(buf));
     }
-    Ok(Tensor::from_vec(rows, cols, data))
+    Ok(Tensor::from_vec(rows as usize, cols as usize, data))
 }
 
 /// Deserialize a parameter set from a reader.
@@ -79,10 +165,10 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
             format!("unsupported checkpoint version {version}"),
         ));
     }
-    let count = read_u32(&mut r)? as usize;
+    let count = bounded(read_u32(&mut r)?, MAX_ITEM_COUNT, "parameter count")? as usize;
     let mut params = ParamSet::new();
     for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
+        let name_len = bounded(read_u32(&mut r)?, MAX_NAME_LEN, "parameter name length")? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
         let name =
@@ -93,9 +179,11 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<ParamSet> {
 }
 
 /// Serialize a full training checkpoint (parameters + Adam state) to a
-/// writer.
-pub fn write_checkpoint<W: Write>(params: &ParamSet, opt: &AdamState, mut w: W) -> io::Result<()> {
+/// writer, appending an FNV-1a-64 checksum of every preceding byte so
+/// torn writes and flipped bits are detectable at load time.
+pub fn write_checkpoint<W: Write>(params: &ParamSet, opt: &AdamState, w: W) -> io::Result<()> {
     assert_eq!(opt.m.len(), opt.v.len(), "adam state moment count mismatch");
+    let mut w = HashingWriter::new(w);
     w.write_all(CKPT_MAGIC)?;
     w.write_all(&CKPT_VERSION.to_le_bytes())?;
     write_params(params, &mut w)?;
@@ -104,11 +192,17 @@ pub fn write_checkpoint<W: Write>(params: &ParamSet, opt: &AdamState, mut w: W) 
     for t in opt.m.iter().chain(opt.v.iter()) {
         write_tensor(t, &mut w)?;
     }
-    Ok(())
+    let digest = w.digest;
+    w.write_all(&digest.to_le_bytes())?;
+    w.flush()
 }
 
-/// Deserialize a full training checkpoint from a reader.
-pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<(ParamSet, AdamState)> {
+/// Deserialize a full training checkpoint from a reader, verifying the
+/// trailing checksum (containers written at version ≥ 2). Any corruption
+/// — truncation, flipped bits, implausible lengths — is an `Err`, never a
+/// panic.
+pub fn read_checkpoint<R: Read>(r: R) -> io::Result<(ParamSet, AdamState)> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != CKPT_MAGIC {
@@ -118,7 +212,7 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<(ParamSet, AdamState)> {
         ));
     }
     let version = read_u32(&mut r)?;
-    if version != CKPT_VERSION {
+    if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&version) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported checkpoint version {version}"),
@@ -126,13 +220,39 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<(ParamSet, AdamState)> {
     }
     let params = read_params(&mut r)?;
     let t = read_u64(&mut r)?;
-    let count = read_u32(&mut r)? as usize;
+    let count = bounded(read_u32(&mut r)?, MAX_ITEM_COUNT, "moment count")? as usize;
     let mut moments = Vec::with_capacity(2 * count);
     for _ in 0..2 * count {
         moments.push(read_tensor(&mut r)?);
     }
     let v = moments.split_off(count);
+    if version >= 2 {
+        // Snapshot the digest before consuming the trailer: the checksum
+        // covers exactly the bytes that precede it.
+        let computed = r.digest;
+        let stored = read_u64(&mut r)?;
+        if stored != computed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint checksum mismatch: stored {stored:#018x}, \
+                     computed {computed:#018x} (corrupted file)"
+                ),
+            ));
+        }
+    }
     Ok((params, AdamState { t, m: moments, v }))
+}
+
+/// Reject a length field exceeding `max` with a typed error naming `what`.
+fn bounded(value: u32, max: u32, what: &str) -> io::Result<u32> {
+    if value > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible {what} {value} (corrupted checkpoint?)"),
+        ));
+    }
+    Ok(value)
 }
 
 /// Save a full training checkpoint to a file path.
@@ -302,6 +422,55 @@ mod tests {
         let (_, rs) = read_checkpoint(buf.as_slice()).expect("read");
         assert_eq!(rs.t, 0);
         assert!(rs.m.is_empty() && rs.v.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let params = sample_params(11);
+        let opt = crate::optim::Adam::new(0.01);
+        let mut buf = Vec::new();
+        write_checkpoint(&params, &opt.state(), &mut buf).expect("write");
+        // Cutting the container anywhere must yield Err, never a panic.
+        for cut in (0..buf.len()).step_by(7).chain([buf.len() - 1]) {
+            assert!(
+                read_checkpoint(&buf[..cut]).is_err(),
+                "truncation at {cut}/{} must be rejected",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected_by_the_checksum() {
+        let params = sample_params(13);
+        let opt = crate::optim::Adam::new(0.01);
+        let mut buf = Vec::new();
+        write_checkpoint(&params, &opt.state(), &mut buf).expect("write");
+        assert!(read_checkpoint(buf.as_slice()).is_ok(), "pristine loads");
+        // Flip one bit at a spread of positions, covering the header, the
+        // payload, and the trailing checksum itself.
+        for pos in (0..buf.len()).step_by(97) {
+            let mut evil = buf.clone();
+            evil[pos] ^= 0x10;
+            assert!(
+                read_checkpoint(evil.as_slice()).is_err(),
+                "bit flip at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_1_checkpoints_without_checksum_still_load() {
+        let params = sample_params(17);
+        let opt = crate::optim::Adam::new(0.01);
+        let mut buf = Vec::new();
+        write_checkpoint(&params, &opt.state(), &mut buf).expect("write");
+        // Rewrite the version field to 1 and drop the 8-byte trailer:
+        // byte-for-byte what a pre-checksum writer produced.
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        buf.truncate(buf.len() - 8);
+        let (rp, _) = read_checkpoint(buf.as_slice()).expect("v1 loads");
+        assert_eq!(rp.flatten(), params.flatten());
     }
 
     #[test]

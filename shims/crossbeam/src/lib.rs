@@ -45,6 +45,26 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
@@ -103,6 +123,34 @@ pub mod channel {
                     .ready
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
             }
         }
 
@@ -194,6 +242,22 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(1)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }

@@ -42,7 +42,8 @@ pub use cgnn_tensor as tensor;
 /// halo exchange strategies, the trainer, and the traffic counters.
 pub mod prelude {
     pub use cgnn_comm::{
-        Backend, Comm, CommBackend, RecvRequest, SendRequest, StatsSnapshot, World,
+        Backend, Comm, CommBackend, FaultPlan, RankFailure, RecvRequest, SendRequest,
+        StatsSnapshot, World,
     };
     pub use cgnn_core::{
         halo_exchange_apply, ConsistentGnn, EpochReport, EpochSchedule, ExchangeTraffic, GnnConfig,
@@ -50,10 +51,11 @@ pub mod prelude {
     };
     pub use cgnn_graph::{build_distributed_graph, build_global_graph, LocalGraph};
     pub use cgnn_mesh::{BoxMesh, TaylorGreen};
-    pub use cgnn_partition::{Partition, Strategy};
+    pub use cgnn_partition::{Partition, PartitionStrategy, Strategy};
     pub use cgnn_sem::{SnapshotPair, SnapshotStream};
     pub use cgnn_session::{
-        CheckpointPolicy, Dataset, RankHandle, Session, SessionBuilder, SessionError,
+        CheckpointPolicy, Dataset, ElasticError, ElasticReport, FaultTolerance, LatestReport,
+        RankHandle, RecoveryEvent, Session, SessionBuilder, SessionError, WorldFailure,
     };
     pub use cgnn_tensor::{Tape, Tensor};
 }

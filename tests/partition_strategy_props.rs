@@ -1,0 +1,129 @@
+//! Property tests of the object-safe [`PartitionStrategy`] trait: random
+//! small meshes, world sizes 1..=8, every in-tree strategy.
+//!
+//! Pins three things: (1) a partition is a *partition* — every element
+//! owned exactly once and every rank non-empty; (2) the trait-object
+//! refactor is behavior-preserving — `Strategy::X.object()` produces the
+//! element-identical owner map of the enum front door (RCB included, the
+//! strategy elastic recovery replays); (3) graphs built from
+//! trait-object partitions keep the symmetric halo plans the consistent
+//! halo exchange relies on.
+
+use proptest::prelude::*;
+
+use cgnn::graph::build_distributed_graph;
+use cgnn::mesh::BoxMesh;
+use cgnn::partition::{Partition, Strategy};
+
+const ALL: [Strategy; 4] = [
+    Strategy::Slab,
+    Strategy::Pencil,
+    Strategy::Block,
+    Strategy::Rcb,
+];
+
+fn strategy_from(i: u8) -> Strategy {
+    ALL[(i % 4) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every element is owned by exactly one rank, every owner is a real
+    /// rank, and no rank is left empty — for every strategy, through the
+    /// trait-object path.
+    #[test]
+    fn every_element_owned_exactly_once(
+        ex in 2usize..5, ey in 2usize..5, ez in 2usize..4,
+        p in 1usize..3,
+        ranks in 1usize..9,
+        strat in 0u8..4,
+    ) {
+        let mesh = BoxMesh::new((ex, ey, ez), p, (1.0, 1.0, 1.0), false);
+        prop_assume!(mesh.num_elements() >= ranks);
+        let part = strategy_from(strat).object().partition(&mesh, ranks);
+        prop_assert_eq!(part.n_ranks(), ranks);
+        prop_assert_eq!(part.owners().len(), mesh.num_elements());
+
+        // Exactly-once coverage: rank element lists are a disjoint
+        // partition of 0..num_elements consistent with the owner map.
+        let mut seen = vec![false; mesh.num_elements()];
+        for r in 0..ranks {
+            let elems = part.elements_of(r);
+            prop_assert!(!elems.is_empty(), "rank {} owns nothing", r);
+            for &e in elems {
+                prop_assert!(e < mesh.num_elements());
+                prop_assert!(!seen[e], "element {} owned twice", e);
+                seen[e] = true;
+                prop_assert_eq!(part.owner_of(e), r);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some element is owned by no rank");
+    }
+
+    /// The trait refactor is behavior-preserving: the object path yields
+    /// the element-identical owner map of the enum path, for every
+    /// strategy and world size (RCB especially — the one elastic recovery
+    /// replays at arbitrary survivor counts).
+    #[test]
+    fn trait_objects_match_the_enum_path(
+        ex in 2usize..5, ey in 2usize..5, ez in 2usize..4,
+        p in 1usize..3,
+        ranks in 1usize..9,
+    ) {
+        let mesh = BoxMesh::new((ex, ey, ez), p, (1.0, 1.0, 1.0), false);
+        prop_assume!(mesh.num_elements() >= ranks);
+        for strategy in ALL {
+            let via_enum = Partition::new(&mesh, ranks, strategy);
+            let via_trait = strategy.object().partition(&mesh, ranks);
+            prop_assert_eq!(
+                via_enum.owners(), via_trait.owners(),
+                "{:?} diverges through the trait object", strategy
+            );
+        }
+    }
+
+    /// Distributed graphs built from trait-object partitions have
+    /// pairwise-symmetric halo plans: the shared-node list rank r keeps
+    /// for neighbor s is exactly the one s keeps for r.
+    #[test]
+    fn object_partition_halos_are_symmetric(
+        e in 2usize..5,
+        p in 1usize..3,
+        ranks in 2usize..9,
+        strat in 0u8..4,
+        periodic in proptest::bool::ANY,
+    ) {
+        prop_assume!(!periodic || p * e >= 3);
+        let mesh = BoxMesh::new((e, e, e), p, (1.0, 1.0, 1.0), periodic);
+        prop_assume!(mesh.num_elements() >= ranks);
+        let part = strategy_from(strat).object().partition(&mesh, ranks);
+        let graphs = build_distributed_graph(&mesh, &part);
+        for g in &graphs {
+            for (ni, &s) in g.halo.neighbors.iter().enumerate() {
+                let other = &graphs[s];
+                let back = other.halo.neighbors.iter().position(|&x| x == g.rank);
+                prop_assert!(back.is_some(), "asymmetric neighbor {} -> {}", g.rank, s);
+                let mine: Vec<u64> =
+                    g.halo.send_ids[ni].iter().map(|&l| g.gids[l]).collect();
+                let theirs: Vec<u64> = other.halo.send_ids[back.unwrap()]
+                    .iter()
+                    .map(|&l| other.gids[l])
+                    .collect();
+                prop_assert_eq!(mine, theirs);
+            }
+        }
+    }
+}
+
+/// Labels survive the bridge: each trait object reports the lowercase
+/// name of its enum variant, the form diagnostics and reports print.
+#[test]
+fn object_labels_match_enum_variants() {
+    for strategy in ALL {
+        assert_eq!(
+            strategy.object().label(),
+            format!("{strategy:?}").to_lowercase()
+        );
+    }
+}
