@@ -4,7 +4,7 @@
 //! collective, point-to-point, and accounting path goes through the
 //! object-safe [`CommBackend`] trait, so a new transport (a real MPI/NCCL
 //! binding, a cross-process shared-memory world, a network simulator) is a
-//! new `impl`, not a rewrite of `cgnn-core`. Three backends ship in-tree:
+//! new `impl`, not a rewrite of `cgnn-core`. Five backends ship in-tree:
 //!
 //! * [`ThreadWorld`](threads::ThreadWorld) — one OS thread per rank with
 //!   real concurrency, the default (mirrors the paper's one-GPU-per-rank
@@ -12,13 +12,20 @@
 //! * [`SerialBackend`](serial::SerialBackend) — a loopback world that
 //!   executes ranks one at a time in deterministic round-robin order:
 //!   zero-concurrency reference semantics for debugging and CI,
+//! * [`ProcWorld`](proc::ProcWorld) — one OS *process* per rank
+//!   (re-exec plus a Unix-domain-socket mesh): true address-space
+//!   isolation, real serialization cost, per-rank thread budgets that
+//!   actually hold,
+//! * [`SocketWorld`](socket::SocketWorld) — one process per rank over a
+//!   full TCP mesh, spanning machines via a rank-0 rendezvous listener,
 //! * [`LoopbackBackend`](loopback::LoopbackBackend) — a world of exactly
 //!   one rank on the calling thread, for persistent single-rank trainers
 //!   (the `cgnn-serve` replica pool, the Criterion step benchmarks).
 //!
-//! Backends provide raw transport primitives only; traffic accounting and
-//! the deterministic reduction arithmetic live once, in [`Comm`],
-//! so all backends are bit-identical by construction.
+//! The two cross-process transports share the checksummed `CGNW` frame
+//! engine in the `wire` module. Backends provide raw transport primitives only;
+//! traffic accounting and the deterministic reduction arithmetic live
+//! once, in [`Comm`], so all backends are bit-identical by construction.
 //!
 //! # Implementing a custom backend
 //!
@@ -69,8 +76,11 @@
 //! ```
 
 pub mod loopback;
+pub mod proc;
 pub mod serial;
+pub mod socket;
 pub mod threads;
+pub(crate) mod wire;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -251,6 +261,13 @@ pub enum Backend {
     /// Deterministic single-stepped loopback: ranks execute round-robin,
     /// one at a time.
     Serial,
+    /// One OS *process* per rank (re-exec + Unix-domain-socket mesh).
+    /// Returns rank 0's result only; see [`ProcWorld`](proc::ProcWorld).
+    Proc,
+    /// One process per rank over a full TCP mesh (can span machines).
+    /// Returns rank 0's result only; see
+    /// [`SocketWorld`](socket::SocketWorld).
+    Socket,
 }
 
 impl Backend {
@@ -259,17 +276,30 @@ impl Backend {
         match self {
             Backend::Threads => "threads",
             Backend::Serial => "serial",
+            Backend::Proc => "proc",
+            Backend::Socket => "socket",
         }
     }
 
-    /// Every in-tree backend, in presentation order.
+    /// The in-process backends, in presentation order. The cross-process
+    /// transports ([`Backend::Proc`], [`Backend::Socket`]) re-exec the
+    /// binary and return only rank 0's result, so suites that iterate
+    /// worlds inside one process stick to these two; the cross-process
+    /// equivalence and chaos suites launch the others explicitly.
     pub fn all() -> [Backend; 2] {
         [Backend::Threads, Backend::Serial]
     }
 
+    /// Whether launching returns every rank's result in one address space
+    /// (`threads`/`serial`) rather than rank 0's only (`proc`/`socket`).
+    pub fn is_in_process(self) -> bool {
+        matches!(self, Backend::Threads | Backend::Serial)
+    }
+
     /// The backend named by the `CGNN_BACKEND` environment variable
-    /// (`"threads"` or `"serial"`, case-insensitive), defaulting to
-    /// [`Backend::Threads`] when unset or empty.
+    /// (`"threads"`, `"serial"`, `"proc"`, or `"socket"`,
+    /// case-insensitive), defaulting to [`Backend::Threads`] when unset
+    /// or empty.
     ///
     /// # Panics
     ///
@@ -281,16 +311,20 @@ impl Backend {
             Ok(v) => match v.to_ascii_lowercase().as_str() {
                 "" | "threads" => Backend::Threads,
                 "serial" => Backend::Serial,
+                "proc" => Backend::Proc,
+                "socket" => Backend::Socket,
                 other => {
                     // detlint: allow(unwrap-in-lib, "config error at startup: fail loudly rather than silently testing the wrong transport")
-                    panic!("unknown CGNN_BACKEND value `{other}` (expected `threads` or `serial`)")
+                    panic!("unknown CGNN_BACKEND value `{other}` (expected `threads`, `serial`, `proc`, or `socket`)")
                 }
             },
         }
     }
 
-    /// Run `f` on `size` ranks over this transport, returning each rank's
-    /// result in rank order. Panics in any rank propagate.
+    /// Run `f` on `size` ranks over this transport. The in-process
+    /// backends return each rank's result in rank order; the
+    /// cross-process backends return rank 0's result only (the other
+    /// ranks live in other processes). Panics in any rank propagate.
     pub fn launch<T, F>(self, size: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -303,7 +337,8 @@ impl Backend {
     /// transport is passed through `decorate` before being wired into its
     /// [`Comm`] handle. This is how fault injection wraps a world (see
     /// [`FaultInjector`](crate::FaultInjector)) without the transports
-    /// knowing about it; the identity decorator reproduces `launch`.
+    /// knowing about it; the identity decorator reproduces `launch`. On
+    /// the cross-process backends every *process* decorates its own rank.
     pub fn launch_with<T, F, D>(self, size: usize, f: F, decorate: D) -> Vec<T>
     where
         T: Send,
@@ -313,6 +348,8 @@ impl Backend {
         match self {
             Backend::Threads => threads::ThreadWorld::launch_with(size, f, decorate),
             Backend::Serial => serial::SerialBackend::launch_with(size, f, decorate),
+            Backend::Proc => proc::ProcWorld::launch_with(size, f, decorate),
+            Backend::Socket => socket::SocketWorld::launch_with(size, f, decorate),
         }
     }
 }
@@ -339,6 +376,7 @@ pub(crate) fn run_ranks<T, F>(
     size: usize,
     f: F,
     backend_for: impl Fn(usize) -> Arc<dyn CommBackend> + Sync,
+    budget: Option<usize>,
 ) -> Vec<T>
 where
     T: Send,
@@ -352,6 +390,11 @@ where
             let f = &f;
             let backend_for = &backend_for;
             handles.push(scope.spawn(move || {
+                // Budget this rank's kernel worker pool so concurrent
+                // ranks share the cores instead of contending for all of
+                // them (a pure scheduling decision: kernels are
+                // bit-identical at every worker count).
+                let _budget = proc::BudgetGuard::arm(budget);
                 let backend = backend_for(rank);
                 backend.on_rank_start();
                 // Runs on both return and unwind, so a panicking rank

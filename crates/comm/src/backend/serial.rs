@@ -102,12 +102,19 @@ impl SerialBackend {
             baton: Condvar::new(),
             stats: (0..size).map(|_| RankStats::default()).collect(),
         });
-        run_ranks(size, f, |rank| {
-            decorate(Arc::new(SerialRank {
-                rank,
-                world: Arc::clone(&world),
-            }))
-        })
+        // No thread budget: the baton means only one rank computes at a
+        // time, so each may use the full kernel pool.
+        run_ranks(
+            size,
+            f,
+            |rank| {
+                decorate(Arc::new(SerialRank {
+                    rank,
+                    world: Arc::clone(&world),
+                }))
+            },
+            None,
+        )
     }
 }
 

@@ -124,12 +124,19 @@ impl ThreadWorld {
         D: Fn(Arc<dyn CommBackend>) -> Arc<dyn CommBackend> + Sync,
     {
         let world = Arc::new(ThreadWorld::new(size));
-        run_ranks(size, f, |rank| {
-            decorate(Arc::new(ThreadRank {
-                rank,
-                world: Arc::clone(&world),
-            }))
-        })
+        // Ranks run concurrently: budget each rank's kernel pool so
+        // `ranks × workers` stays within the machine.
+        run_ranks(
+            size,
+            f,
+            |rank| {
+                decorate(Arc::new(ThreadRank {
+                    rank,
+                    world: Arc::clone(&world),
+                }))
+            },
+            crate::backend::proc::budget_for(size),
+        )
     }
 
     fn new(size: usize) -> Self {

@@ -1,0 +1,853 @@
+//! Shared stream-transport engine for the cross-process backends.
+//!
+//! Both [`Backend::Proc`](crate::Backend::Proc) (Unix-domain sockets) and
+//! [`Backend::Socket`](crate::Backend::Socket) (TCP) reduce to the same
+//! shape once their rendezvous has produced one byte stream per peer:
+//! a full mesh of connections carrying checksummed `CGNW` frames, with a
+//! per-peer reader thread routing arrivals into shared queues and a
+//! per-peer writer thread draining an unbounded job channel (so `send`
+//! stays buffered-and-non-blocking even when OS socket buffers fill).
+//! [`StreamWorld`] is that engine; the transport modules only differ in
+//! how they dial the mesh.
+//!
+//! # Wire format
+//!
+//! Every frame is `CGNW` magic, a kind byte, `src` (u32 LE), `tag`
+//! (u64 LE; the p2p tag, barrier generation, or dead-rank id), a
+//! length-prefixed UTF-8 label (collective label or rendezvous address
+//! table), a length-prefixed LE `f64` payload, and a trailing FNV-1a-64
+//! digest over everything before it — the same hashing discipline as the
+//! `CGNC` checkpoint container in `cgnn-tensor::serialize`, so a
+//! truncated or corrupted stream fails loudly instead of deserializing
+//! garbage.
+//!
+//! # Ordering and matching
+//!
+//! Each connection is a FIFO byte stream, so per-peer frame order equals
+//! send order. Collectives need no extra synchronization: the `k`-th
+//! gather (or all-to-all) frame popped from a peer's queue belongs to the
+//! `k`-th gather this rank performs, and barriers are generation-stamped.
+//! Point-to-point matching reuses [`PostQueue`] — identical FIFO-per-peer
+//! semantics to the in-process transports.
+//!
+//! # Liveness
+//!
+//! A rank that finishes cleanly announces `Bye` before closing; EOF
+//! without `Bye` (a crashed or SIGKILLed process) marks the peer dead, as
+//! does an explicit `Dead` frame from fault injection. Every blocking
+//! wait re-checks the peer table at `CGNN_FAULT_HEARTBEAT_MS` intervals
+//! and aborts with [`RankFailure::PeerDead`] instead of hanging — the
+//! same contract as the threads backend, but detected through the socket
+//! rather than shared memory.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::backend::{CommBackend, P2pMsg, PostQueue, RecvOp, SendOp};
+use crate::fault::RankFailure;
+use crate::stats::RankStats;
+
+/// FNV-1a-64 offset basis (the `CGNC` checkpoint-container discipline).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a-64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Frame magic.
+const MAGIC: [u8; 4] = *b"CGNW";
+/// Bound on payload element counts (mirrors `MAX_TENSOR_ELEMS`): anything
+/// larger is a corrupted length field, not a real message.
+const MAX_FRAME_ELEMS: u64 = 1 << 26;
+/// Bound on label bytes.
+const MAX_LABEL_BYTES: u64 = 1 << 16;
+
+/// Frame kinds on the wire.
+pub(crate) const KIND_HELLO: u8 = 0;
+const KIND_P2P: u8 = 1;
+const KIND_GATHER: u8 = 2;
+const KIND_A2A: u8 = 3;
+const KIND_BARRIER: u8 = 4;
+const KIND_DEAD: u8 = 5;
+const KIND_BYE: u8 = 6;
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Frame {
+    pub kind: u8,
+    pub src: u32,
+    /// P2p tag, barrier generation, or dead-rank id, depending on `kind`.
+    pub tag: u64,
+    /// Collective label (`Gather`) or rendezvous address payload (`Hello`).
+    pub label: String,
+    pub data: Vec<f64>,
+}
+
+impl Frame {
+    /// A frame with empty label and payload.
+    pub(crate) fn control(kind: u8, src: u32, tag: u64) -> Frame {
+        Frame {
+            kind,
+            src,
+            tag,
+            label: String::new(),
+            data: Vec::new(),
+        }
+    }
+}
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Serialize one frame with its trailing digest.
+pub(crate) fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + frame.label.len() + frame.data.len() * 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(frame.kind);
+    buf.extend_from_slice(&frame.src.to_le_bytes());
+    buf.extend_from_slice(&frame.tag.to_le_bytes());
+    buf.extend_from_slice(&(frame.label.len() as u32).to_le_bytes());
+    buf.extend_from_slice(frame.label.as_bytes());
+    buf.extend_from_slice(&(frame.data.len() as u64).to_le_bytes());
+    for v in &frame.data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let digest = fnv1a(FNV_OFFSET, &buf);
+    buf.extend_from_slice(&digest.to_le_bytes());
+    buf
+}
+
+/// Write one frame to a stream.
+pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+fn read_exact_hashed<R: Read>(r: &mut R, buf: &mut [u8], state: &mut u64) -> io::Result<()> {
+    r.read_exact(buf)?;
+    *state = fnv1a(*state, buf);
+    Ok(())
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt frame: {what}"))
+}
+
+/// Read one frame from a stream. `Ok(None)` is a clean EOF at a frame
+/// boundary; anything else that fails to parse or checksum is an error.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut magic = [0u8; 4];
+    match r.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut state = fnv1a(FNV_OFFSET, &magic);
+    let mut head = [0u8; 1 + 4 + 8 + 4];
+    read_exact_hashed(r, &mut head, &mut state)?;
+    let kind = head[0];
+    let src = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    let tag = u64::from_le_bytes([
+        head[5], head[6], head[7], head[8], head[9], head[10], head[11], head[12],
+    ]);
+    let label_len = u32::from_le_bytes([head[13], head[14], head[15], head[16]]) as u64;
+    if label_len > MAX_LABEL_BYTES {
+        return Err(corrupt("implausible label length"));
+    }
+    let mut label_bytes = vec![0u8; label_len as usize];
+    read_exact_hashed(r, &mut label_bytes, &mut state)?;
+    let label = String::from_utf8(label_bytes).map_err(|_| corrupt("label is not UTF-8"))?;
+    let mut count_bytes = [0u8; 8];
+    read_exact_hashed(r, &mut count_bytes, &mut state)?;
+    let count = u64::from_le_bytes(count_bytes);
+    if count > MAX_FRAME_ELEMS {
+        return Err(corrupt("implausible payload length"));
+    }
+    let mut payload = vec![0u8; count as usize * 8];
+    read_exact_hashed(r, &mut payload, &mut state)?;
+    let data = payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    let mut digest_bytes = [0u8; 8];
+    r.read_exact(&mut digest_bytes)?;
+    if u64::from_le_bytes(digest_bytes) != state {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(Some(Frame {
+        kind,
+        src,
+        tag,
+        label,
+        data,
+    }))
+}
+
+/// One established peer connection, transport-erased into cloneable
+/// read/write halves plus a shutdown hook to unblock a parked reader.
+pub(crate) enum Conn {
+    Uds(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Conn {
+    fn split(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            Conn::Uds(s) => Ok((Box::new(s.try_clone()?), Box::new(s.try_clone()?))),
+            Conn::Tcp(s) => Ok((Box::new(s.try_clone()?), Box::new(s.try_clone()?))),
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Conn::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+/// What this rank last heard from a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerStatus {
+    Alive,
+    /// Clean protocol finish: its remaining queued data is still valid,
+    /// but waiting for *new* data from it can never complete.
+    Bye,
+    /// Crash: explicit `Dead` frame, EOF without `Bye`, or a write error.
+    Dead,
+}
+
+/// Per-peer arrival state, all behind one mutex (see [`Shared`]).
+struct PeerState {
+    gathers: VecDeque<(String, Vec<f64>)>,
+    a2as: VecDeque<Vec<f64>>,
+    posts: PostQueue,
+    /// Highest barrier generation heard from this peer.
+    barrier_gen: u64,
+    status: PeerStatus,
+}
+
+struct Shared {
+    peers: Vec<PeerState>,
+}
+
+/// Completion flag for a deferred send: raised by the writer thread once
+/// the frame has been handed to the OS.
+struct SendFlag {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SendFlag {
+    fn new() -> Self {
+        SendFlag {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn mark(&self) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    fn poll(&self) -> bool {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait(&self) {
+        let mut g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+enum WriteJob {
+    Frame(Frame, Option<Arc<SendFlag>>),
+    Shutdown,
+}
+
+/// The liveness probe period, same knob and default as the threads
+/// backend (`CGNN_FAULT_HEARTBEAT_MS`, registered in the `cgnn-core`
+/// knob registry).
+pub(crate) fn heartbeat_from_env() -> Duration {
+    let ms = std::env::var("CGNN_FAULT_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(25)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
+/// One rank's view of a stream-connected SPMD world. Built by the
+/// transport modules from an established full mesh; owns the reader and
+/// writer threads until [`StreamWorld::teardown`].
+pub(crate) struct StreamWorld {
+    rank: usize,
+    size: usize,
+    label: &'static str,
+    heartbeat: Duration,
+    shared: Mutex<Shared>,
+    cv: Condvar,
+    /// This rank's own barrier generation counter.
+    my_barrier_gen: AtomicU64,
+    self_dead: AtomicBool,
+    writers: Vec<Option<Sender<WriteJob>>>,
+    writer_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    conns: Vec<Option<Conn>>,
+    stats: RankStats,
+}
+
+impl StreamWorld {
+    /// Wire an established mesh (`conns[p]` for every peer `p != rank`,
+    /// `None` at `rank`) into a running world: spawns one reader and one
+    /// writer thread per peer.
+    pub(crate) fn start(
+        rank: usize,
+        size: usize,
+        label: &'static str,
+        conns: Vec<Option<Conn>>,
+    ) -> io::Result<Arc<StreamWorld>> {
+        assert_eq!(conns.len(), size, "one connection slot per rank");
+        let mut writers: Vec<Option<Sender<WriteJob>>> = Vec::with_capacity(size);
+        let mut halves: Vec<Option<(Box<dyn Read + Send>, Box<dyn Write + Send>)>> =
+            Vec::with_capacity(size);
+        let mut receivers: Vec<Option<Receiver<WriteJob>>> = Vec::with_capacity(size);
+        for (p, conn) in conns.iter().enumerate() {
+            match conn {
+                Some(c) => {
+                    assert_ne!(p, rank, "no connection to self");
+                    let (tx, rx) = unbounded();
+                    writers.push(Some(tx));
+                    receivers.push(Some(rx));
+                    halves.push(Some(c.split()?));
+                }
+                None => {
+                    writers.push(None);
+                    receivers.push(None);
+                    halves.push(None);
+                }
+            }
+        }
+        let world = Arc::new(StreamWorld {
+            rank,
+            size,
+            label,
+            heartbeat: heartbeat_from_env(),
+            shared: Mutex::new(Shared {
+                peers: (0..size)
+                    .map(|_| PeerState {
+                        gathers: VecDeque::new(),
+                        a2as: VecDeque::new(),
+                        posts: PostQueue::default(),
+                        barrier_gen: 0,
+                        status: PeerStatus::Alive,
+                    })
+                    .collect(),
+            }),
+            cv: Condvar::new(),
+            my_barrier_gen: AtomicU64::new(0),
+            self_dead: AtomicBool::new(false),
+            writers,
+            writer_threads: Mutex::new(Vec::new()),
+            reader_threads: Mutex::new(Vec::new()),
+            conns,
+            stats: RankStats::default(),
+        });
+        let mut writer_threads = Vec::new();
+        let mut reader_threads = Vec::new();
+        for (p, half) in halves.into_iter().enumerate() {
+            let Some((reader, writer)) = half else {
+                continue;
+            };
+            let rx = receivers[p]
+                .take()
+                .expect("writer channel allocated alongside the connection");
+            let w = Arc::clone(&world);
+            reader_threads.push(std::thread::spawn(move || reader_loop(w, p, reader)));
+            let w = Arc::clone(&world);
+            writer_threads.push(std::thread::spawn(move || writer_loop(w, p, writer, rx)));
+        }
+        *world
+            .writer_threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = writer_threads;
+        *world
+            .reader_threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = reader_threads;
+        Ok(world)
+    }
+
+    /// Flush and stop the writer threads, close the connections, and join
+    /// the readers. Called by the launcher after the rank closure (and
+    /// its finish hook) has run; the world is unusable afterwards.
+    pub(crate) fn teardown(&self) {
+        for tx in self.writers.iter().flatten() {
+            let _ = tx.send(WriteJob::Shutdown);
+        }
+        // Join the writers first: that guarantees every queued frame
+        // (Bye / Dead included) is flushed to the wire before the
+        // sockets close under the peers' readers.
+        let writers = std::mem::take(
+            &mut *self
+                .writer_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for t in writers {
+            let _ = t.join();
+        }
+        // Closing both directions unblocks any reader parked in read()
+        // on a peer that never hangs up.
+        for conn in self.conns.iter().flatten() {
+            conn.shutdown();
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .reader_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queue a frame to `dst`. Never blocks: the writer thread owns the
+    /// actual socket write.
+    fn post(&self, dst: usize, frame: Frame, flag: Option<Arc<SendFlag>>) {
+        let tx = self.writers[dst]
+            .as_ref()
+            .expect("posting to self or to a torn-down world");
+        if tx.send(WriteJob::Frame(frame, flag.clone())).is_err() {
+            // Writer already gone (teardown raced a late send): the
+            // payload cannot leave, but nobody may hang on it either.
+            if let Some(flag) = flag {
+                flag.mark();
+            }
+        }
+    }
+
+    /// Block until `probe` yields, re-checking liveness every heartbeat.
+    /// `deps` are the peers this wait cannot complete without: a `Dead`
+    /// peer anywhere in the world aborts the wait, and so does a `Bye`
+    /// from a dep (it finished its program; the data this wait wants can
+    /// never arrive — a diverged schedule or a death we missed).
+    fn wait_on<T>(&self, deps: &[usize], mut probe: impl FnMut(&mut Shared) -> Option<T>) -> T {
+        let mut g = self.lock();
+        loop {
+            if let Some(v) = probe(&mut g) {
+                return v;
+            }
+            let dead: Vec<usize> = (0..self.size)
+                .filter(|&p| {
+                    g.peers[p].status == PeerStatus::Dead
+                        || (g.peers[p].status == PeerStatus::Bye && deps.contains(&p))
+                })
+                .collect();
+            if !dead.is_empty() {
+                drop(g);
+                // detlint: allow(unwrap-in-lib, "liveness abort: unwinding into the recovery loop is how peers escape a dead world")
+                std::panic::panic_any(RankFailure::PeerDead {
+                    rank: self.rank,
+                    dead,
+                });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, self.heartbeat)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+        }
+    }
+
+    fn others(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.size).filter(move |&p| p != self.rank)
+    }
+
+    /// Route one arrived frame into the shared state.
+    fn dispatch(&self, peer: usize, frame: Frame) {
+        let mut g = self.lock();
+        match frame.kind {
+            KIND_P2P => g.peers[peer].posts.deliver((frame.tag as u32, frame.data)),
+            KIND_GATHER => g.peers[peer].gathers.push_back((frame.label, frame.data)),
+            KIND_A2A => g.peers[peer].a2as.push_back(frame.data),
+            KIND_BARRIER => {
+                let p = &mut g.peers[peer];
+                p.barrier_gen = p.barrier_gen.max(frame.tag);
+            }
+            KIND_DEAD => {
+                let d = frame.tag as usize;
+                if d < self.size && d != self.rank {
+                    g.peers[d].status = PeerStatus::Dead;
+                }
+            }
+            KIND_BYE if g.peers[peer].status == PeerStatus::Alive => {
+                g.peers[peer].status = PeerStatus::Bye;
+            }
+            // Hello frames belong to rendezvous, before the world exists;
+            // anything unknown from a checksummed stream is ignored so a
+            // newer peer version cannot wedge an older one.
+            _ => {}
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Reader saw EOF or an error: without a prior `Bye` (or `Dead`
+    /// already recorded) the peer crashed.
+    fn peer_hangup(&self, peer: usize, clean: bool) {
+        let mut g = self.lock();
+        let p = &mut g.peers[peer];
+        if !(clean && p.status == PeerStatus::Bye) && p.status != PeerStatus::Dead {
+            p.status = PeerStatus::Dead;
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    fn dead_list(&self) -> Vec<usize> {
+        let g = self.lock();
+        let mut dead: Vec<usize> = (0..self.size)
+            .filter(|&p| g.peers[p].status == PeerStatus::Dead)
+            .collect();
+        if self.self_dead.load(Ordering::Acquire) {
+            dead.push(self.rank);
+            dead.sort_unstable();
+        }
+        dead
+    }
+}
+
+fn reader_loop(world: Arc<StreamWorld>, peer: usize, mut r: Box<dyn Read + Send>) {
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(frame)) => {
+                let bye = frame.kind == KIND_BYE;
+                world.dispatch(peer, frame);
+                if bye {
+                    // Nothing meaningful follows a Bye; exit without
+                    // waiting for the EOF so teardown joins promptly.
+                    return;
+                }
+            }
+            Ok(None) => {
+                world.peer_hangup(peer, true);
+                return;
+            }
+            Err(_) => {
+                // Truncated or corrupt stream: the peer (or the link) is
+                // gone; surfacing it as a death is the only safe reading.
+                world.peer_hangup(peer, false);
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    world: Arc<StreamWorld>,
+    peer: usize,
+    w: Box<dyn Write + Send>,
+    rx: Receiver<WriteJob>,
+) {
+    let mut w = io::BufWriter::new(w);
+    while let Ok(job) = rx.recv() {
+        match job {
+            WriteJob::Frame(frame, flag) => {
+                let res = write_frame(&mut w, &frame).and_then(|_| w.flush());
+                if let Some(flag) = flag {
+                    flag.mark();
+                }
+                if res.is_err() {
+                    world.peer_hangup(peer, false);
+                    break;
+                }
+            }
+            WriteJob::Shutdown => return,
+        }
+    }
+    // Drain whatever is still queued so no SendOp ever hangs on a flag.
+    while let Ok(job) = rx.try_recv() {
+        if let WriteJob::Frame(_, Some(flag)) = job {
+            flag.mark();
+        }
+    }
+}
+
+/// The [`CommBackend`] face of a [`StreamWorld`].
+pub(crate) struct StreamRank(pub(crate) Arc<StreamWorld>);
+
+impl CommBackend for StreamRank {
+    fn rank(&self) -> usize {
+        self.0.rank
+    }
+
+    fn size(&self) -> usize {
+        self.0.size
+    }
+
+    fn label(&self) -> &'static str {
+        self.0.label
+    }
+
+    fn barrier(&self) {
+        let w = &self.0;
+        let gen = w.my_barrier_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        for p in w.others() {
+            w.post(p, Frame::control(KIND_BARRIER, w.rank as u32, gen), None);
+        }
+        for p in w.others() {
+            w.wait_on(&[p], |sh| (sh.peers[p].barrier_gen >= gen).then_some(()));
+        }
+    }
+
+    fn all_gather(&self, label: &'static str, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let w = &self.0;
+        for p in w.others() {
+            w.post(
+                p,
+                Frame {
+                    kind: KIND_GATHER,
+                    src: w.rank as u32,
+                    tag: 0,
+                    label: label.to_string(),
+                    data: data.clone(),
+                },
+                None,
+            );
+        }
+        let mut out = Vec::with_capacity(w.size);
+        for p in 0..w.size {
+            if p == w.rank {
+                out.push(data.clone());
+            } else {
+                let (got, buf) = w.wait_on(&[p], |sh| sh.peers[p].gathers.pop_front());
+                assert_eq!(
+                    got, label,
+                    "collective mismatch: rank {} is in `{label}` while rank {p} sent `{got}`",
+                    w.rank
+                );
+                out.push(buf);
+            }
+        }
+        out
+    }
+
+    fn all_to_all(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let w = &self.0;
+        assert_eq!(send.len(), w.size, "all_to_all needs one buffer per rank");
+        let mut out: Vec<Option<Vec<f64>>> = (0..w.size).map(|_| None).collect();
+        for (dst, buf) in send.into_iter().enumerate() {
+            if dst == w.rank {
+                out[dst] = Some(buf);
+            } else {
+                // Empty buffers still travel: the exchange is lockstep, so
+                // every rank pops exactly one frame per peer per call.
+                w.post(
+                    dst,
+                    Frame {
+                        kind: KIND_A2A,
+                        src: w.rank as u32,
+                        tag: 0,
+                        label: String::new(),
+                        data: buf,
+                    },
+                    None,
+                );
+            }
+        }
+        for p in 0..w.size {
+            if p != w.rank {
+                out[p] = Some(w.wait_on(&[p], |sh| sh.peers[p].a2as.pop_front()));
+            }
+        }
+        out.into_iter()
+            .map(|b| b.expect("every all_to_all slot filled"))
+            .collect()
+    }
+
+    fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
+        let w = &self.0;
+        w.post(
+            dst,
+            Frame {
+                kind: KIND_P2P,
+                src: w.rank as u32,
+                tag: tag as u64,
+                label: String::new(),
+                data,
+            },
+            None,
+        );
+    }
+
+    fn isend(&self, dst: usize, tag: u32, data: Vec<f64>) -> Box<dyn SendOp> {
+        let w = &self.0;
+        let flag = Arc::new(SendFlag::new());
+        w.post(
+            dst,
+            Frame {
+                kind: KIND_P2P,
+                src: w.rank as u32,
+                tag: tag as u64,
+                label: String::new(),
+                data,
+            },
+            Some(Arc::clone(&flag)),
+        );
+        Box::new(StreamSendOp { flag })
+    }
+
+    fn irecv(&self, src: usize) -> Box<dyn RecvOp> {
+        let seq = self.0.lock().peers[src].posts.post();
+        Box::new(StreamRecvOp {
+            world: Arc::clone(&self.0),
+            src,
+            seq,
+        })
+    }
+
+    fn stats(&self) -> &RankStats {
+        &self.0.stats
+    }
+
+    fn on_rank_finish(&self, panicked: bool) {
+        if panicked {
+            self.mark_dead();
+        } else {
+            let w = &self.0;
+            for p in w.others() {
+                w.post(p, Frame::control(KIND_BYE, w.rank as u32, 0), None);
+            }
+        }
+    }
+
+    fn mark_dead(&self) {
+        let w = &self.0;
+        w.self_dead.store(true, Ordering::Release);
+        for p in w.others() {
+            w.post(
+                p,
+                Frame::control(KIND_DEAD, w.rank as u32, w.rank as u64),
+                None,
+            );
+        }
+    }
+
+    fn dead_ranks(&self) -> Vec<usize> {
+        self.0.dead_list()
+    }
+}
+
+/// A genuinely deferred send: completes when the writer thread has handed
+/// the frame to the OS — the "true isend latency" the in-process
+/// transports cannot exhibit.
+struct StreamSendOp {
+    flag: Arc<SendFlag>,
+}
+
+impl SendOp for StreamSendOp {
+    fn try_complete(&mut self) -> bool {
+        self.flag.poll()
+    }
+
+    fn complete(&mut self) {
+        self.flag.wait();
+    }
+}
+
+/// A posted receive against a peer's [`PostQueue`].
+struct StreamRecvOp {
+    world: Arc<StreamWorld>,
+    src: usize,
+    seq: u64,
+}
+
+impl RecvOp for StreamRecvOp {
+    fn try_take(&mut self) -> Option<P2pMsg> {
+        self.world.lock().peers[self.src].posts.claim(self.seq)
+    }
+
+    fn take(&mut self) -> P2pMsg {
+        let src = self.src;
+        let seq = self.seq;
+        self.world
+            .wait_on(&[src], |sh| sh.peers[src].posts.claim(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_bit_exactly() {
+        let frame = Frame {
+            kind: KIND_GATHER,
+            src: 3,
+            tag: 42,
+            label: "all_reduce_sum".to_string(),
+            data: vec![1.5, -0.0, f64::MIN_POSITIVE, 1e300],
+        };
+        let bytes = encode_frame(&frame);
+        let back = read_frame(&mut &bytes[..])
+            .expect("valid frame decodes")
+            .expect("not EOF");
+        assert_eq!(back, frame);
+        assert_eq!(
+            back.data[1].to_bits(),
+            (-0.0f64).to_bits(),
+            "signed zero survives the wire"
+        );
+    }
+
+    #[test]
+    fn eof_at_boundary_is_clean_and_mid_frame_is_not() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut &empty[..]).expect("clean EOF").is_none());
+        let bytes = encode_frame(&Frame::control(KIND_BYE, 0, 0));
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(read_frame(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let mut bytes = encode_frame(&Frame {
+            kind: KIND_P2P,
+            src: 1,
+            tag: 7,
+            label: String::new(),
+            data: vec![2.0; 16],
+        });
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = read_frame(&mut &bytes[..]).expect_err("flipped bit must not decode");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected_without_allocating() {
+        let mut bytes = encode_frame(&Frame::control(KIND_P2P, 0, 0));
+        // Overwrite the payload count field with an absurd value.
+        let count_at = 4 + 1 + 4 + 8 + 4; // magic + kind + src + tag + label len (label empty)
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_frame(&mut &bytes[..]).is_err());
+    }
+}

@@ -19,15 +19,23 @@
 //! * non-blocking `isend`/`irecv` returning wait-able [`SendRequest`] /
 //!   [`RecvRequest`] handles (the overlapped halo exchange).
 //!
-//! Two launchable transports ship in-tree, selected by [`Backend`] (or
+//! Four launchable transports ship in-tree, selected by [`Backend`] (or
 //! the `CGNN_BACKEND` environment variable):
 //! * [`ThreadWorld`] — one OS thread per rank, real concurrency (default),
 //! * [`SerialBackend`] — deterministic round-robin single-stepping of the
-//!   ranks, for debugging and CI reference runs.
+//!   ranks, for debugging and CI reference runs,
+//! * [`ProcWorld`] — one OS *process* per rank (re-exec +
+//!   Unix-domain-socket mesh, checksummed wire frames): true address-space
+//!   isolation and per-rank kernel thread budgets,
+//! * [`SocketWorld`] — one process per rank over a full TCP mesh, able to
+//!   span machines via a rank-0 rendezvous listener.
 //!
-//! A third, [`LoopbackBackend`], is not launched at all: it is a world of
+//! A fifth, [`LoopbackBackend`], is not launched at all: it is a world of
 //! exactly one rank on the calling thread, for code that owns a persistent
 //! trainer outside any SPMD region (the `cgnn-serve` replica pool).
+//!
+//! The cross-process launchers re-exec the current binary; test binaries
+//! pin the argv their child ranks run with via [`reexec_scope`].
 //!
 //! For chaos testing, [`FaultInjector`] decorates any transport with a
 //! deterministic, seeded [`FaultPlan`] (kill a rank at an exact comm op,
@@ -50,7 +58,9 @@ pub mod fault;
 pub mod stats;
 
 pub use backend::loopback::LoopbackBackend;
+pub use backend::proc::{reexec_scope, ProcWorld, ReexecScope};
 pub use backend::serial::SerialBackend;
+pub use backend::socket::SocketWorld;
 pub use backend::threads::ThreadWorld;
 pub use backend::{Backend, CommBackend, CompletedSend, PostQueue, RecvOp, SendOp};
 pub use comm::{Comm, RecvRequest, SendRequest, World};

@@ -55,23 +55,92 @@ impl EnvKnob {
     }
 }
 
-/// Communication transport selection (`threads` or `serial`), honored by
-/// `World::run` and the session default.
+/// Communication transport selection, honored by `World::run` and the
+/// session default.
 pub const CGNN_BACKEND: EnvKnob = EnvKnob {
     name: "CGNN_BACKEND",
     default: "threads",
-    doc: "Comm transport: `threads` (one OS thread per rank) or `serial` \
-          (deterministic round-robin loopback).",
+    doc: "Comm transport: `threads` (one OS thread per rank), `serial` \
+          (deterministic round-robin loopback), `proc` (one OS process \
+          per rank), or `socket` (one process per rank over TCP).",
+};
+
+/// Cross-process launch handshake: this process's rank index. Set by the
+/// `proc`/`socket` spawner on re-exec'd children, or by an operator for
+/// a manual (multi-machine) launch.
+pub const CGNN_RANK: EnvKnob = EnvKnob {
+    name: "CGNN_RANK",
+    default: "unset (this process spawns the world)",
+    doc: "Cross-process handshake: rank index of this process; unset \
+          means \"spawn the world and run rank 0 inline\".",
+};
+
+/// Cross-process launch handshake: world size, cross-checked against the
+/// program's own launch call.
+pub const CGNN_WORLD: EnvKnob = EnvKnob {
+    name: "CGNN_WORLD",
+    default: "unset",
+    doc: "Cross-process handshake: expected world size (cross-checked \
+          against the program's launch; divergence fails loudly).",
+};
+
+/// Cross-process launch handshake: marks a re-exec'd child (as opposed to
+/// a manually launched rank), which reports failures via `rank{r}.fail`
+/// and exits when its rank completes.
+pub const CGNN_LAUNCHED: EnvKnob = EnvKnob {
+    name: "CGNN_LAUNCHED",
+    default: "unset",
+    doc: "Cross-process handshake: set (to `1`) on re-exec'd child ranks; \
+          unset for operator-run (manual multi-machine) ranks.",
+};
+
+/// Cross-process launch handshake: which launch (1-based sequence number
+/// within the program/scope) a re-exec'd child should join; earlier
+/// launches are replayed in-process on the serial backend.
+pub const CGNN_PROC_SEQ: EnvKnob = EnvKnob {
+    name: "CGNN_PROC_SEQ",
+    default: "1",
+    doc: "Cross-process handshake: launch sequence number the child \
+          joins; earlier launches replay deterministically in-process.",
+};
+
+/// Cross-process rendezvous directory (Unix sockets, child logs,
+/// `rank{r}.fail` reports). For the spawner a base directory; for a
+/// joining rank the concrete per-launch directory.
+pub const CGNN_PROC_DIR: EnvKnob = EnvKnob {
+    name: "CGNN_PROC_DIR",
+    default: "system temp dir",
+    doc: "Cross-process rendezvous directory (UDS mesh sockets, child \
+          logs, failure reports); spawner treats it as a base directory.",
+};
+
+/// TCP rendezvous address of the socket backend's rank 0.
+pub const CGNN_SOCKET_ADDR: EnvKnob = EnvKnob {
+    name: "CGNN_SOCKET_ADDR",
+    default: "127.0.0.1:0 (spawner picks an ephemeral port)",
+    doc: "Socket-backend rendezvous address (`host:port`) where rank 0 \
+          listens; required for manual multi-machine launches.",
+};
+
+/// Per-rank kernel worker budget applied by every multi-rank launcher
+/// when no explicit worker count is pinned.
+pub const CGNN_THREAD_BUDGET: EnvKnob = EnvKnob {
+    name: "CGNN_THREAD_BUDGET",
+    default: "auto (max(1, cores/world))",
+    doc: "Per-rank kernel worker budget: `auto` clamps each rank to \
+          `max(1, cores/world)`, `off` disables the clamp, `<n>` forces \
+          a count; an explicit `CGNN_NUM_THREADS` pin always wins.",
 };
 
 /// Kernel worker count for the parallel tensor kernels (results are
 /// worker-count-invariant by construction; this only changes timing).
 pub const CGNN_NUM_THREADS: EnvKnob = EnvKnob {
     name: "CGNN_NUM_THREADS",
-    default: "all cores",
+    default: "all cores, thread-budgeted per rank",
     doc: "Tensor-kernel worker count; results are bit-identical at any \
           value (see docs/PERFORMANCE.md). Falls back to \
-          `RAYON_NUM_THREADS`.",
+          `RAYON_NUM_THREADS`; when unset, multi-rank launchers budget \
+          each rank to `max(1, cores/world)` (`CGNN_THREAD_BUDGET`).",
 };
 
 /// Epoch/iteration count used by the examples and figure binaries.
@@ -143,6 +212,23 @@ pub const CGNN_BENCH_MODEL: EnvKnob = EnvKnob {
     name: "CGNN_BENCH_MODEL",
     default: "small",
     doc: "`hotpath` bench model preset (`small` or `large`).",
+};
+
+/// `hotpath` bench: comma-separated backends for the weak-scaling sweep.
+pub const CGNN_BENCH_BACKENDS: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_BACKENDS",
+    default: "threads,proc",
+    doc: "`hotpath` bench backends swept by the weak-scaling section \
+          (any of `threads`, `serial`, `proc`, `socket`).",
+};
+
+/// `hotpath` bench: internal parameter channel for re-exec'd weak-scaling
+/// worker ranks (set by the bench itself, not by operators).
+pub const CGNN_BENCH_WEAK: EnvKnob = EnvKnob {
+    name: "CGNN_BENCH_WEAK",
+    default: "unset (internal)",
+    doc: "`hotpath` bench internal: weak-scaling cell parameters passed \
+          to re-exec'd worker ranks; not set by hand.",
 };
 
 /// `cgnn-serve`: TCP bind address of the inference server.
@@ -270,7 +356,14 @@ pub const RAYON_NUM_THREADS: EnvKnob = EnvKnob {
 /// Every declared knob, in presentation order (the README table order).
 pub const KNOBS: &[&EnvKnob] = &[
     &CGNN_BACKEND,
+    &CGNN_RANK,
+    &CGNN_WORLD,
+    &CGNN_LAUNCHED,
+    &CGNN_PROC_SEQ,
+    &CGNN_PROC_DIR,
+    &CGNN_SOCKET_ADDR,
     &CGNN_NUM_THREADS,
+    &CGNN_THREAD_BUDGET,
     &CGNN_ITERS,
     &CGNN_ELEMS,
     &CGNN_MAXR,
@@ -281,6 +374,8 @@ pub const KNOBS: &[&EnvKnob] = &[
     &CGNN_BENCH_REPS,
     &CGNN_BENCH_RANKS,
     &CGNN_BENCH_MODEL,
+    &CGNN_BENCH_BACKENDS,
+    &CGNN_BENCH_WEAK,
     &CGNN_SERVE_ADDR,
     &CGNN_SERVE_REPLICAS,
     &CGNN_SERVE_MAX_BATCH,
@@ -297,6 +392,20 @@ pub const KNOBS: &[&EnvKnob] = &[
     &CGNN_FAULT_SEED,
     &RAYON_NUM_THREADS,
 ];
+
+/// The default per-rank kernel worker budget for `world` concurrent
+/// ranks on `cores` hardware threads: `max(1, cores / world)`, so
+/// `ranks × workers ≤ cores` and kernel parallelism composes with rank
+/// parallelism instead of contending.
+///
+/// This is the policy the multi-rank launchers in `cgnn-comm` apply
+/// (re-derived there because `cgnn-comm` sits below this crate); this
+/// copy is the documented, cross-checked formula. It is a pure function
+/// — the launchers resolve `cores` and the `CGNN_THREAD_BUDGET` /
+/// `CGNN_NUM_THREADS` overrides themselves.
+pub fn per_rank_thread_budget(cores: usize, world: usize) -> usize {
+    (cores / world.max(1)).max(1)
+}
 
 /// Render the registry as the markdown table embedded in the README
 /// ("Environment knobs" section). A unit test asserts the README copy is
@@ -342,6 +451,21 @@ mod tests {
         assert_eq!(knob.usize_or(7), 7);
         assert_eq!(knob.string_or("x"), "x");
         assert!(knob.lookup().is_none());
+    }
+
+    #[test]
+    fn thread_budget_formula() {
+        assert_eq!(per_rank_thread_budget(8, 4), 2);
+        assert_eq!(per_rank_thread_budget(8, 8), 1);
+        assert_eq!(per_rank_thread_budget(1, 8), 1, "never below one worker");
+        assert_eq!(per_rank_thread_budget(7, 2), 3, "floor division");
+        assert_eq!(per_rank_thread_budget(4, 0), 4, "degenerate world");
+        // The headline constraint: ranks x workers never exceeds cores.
+        for cores in 1..=16 {
+            for world in 1..=16 {
+                assert!(world * per_rank_thread_budget(cores, world) <= cores.max(world));
+            }
+        }
     }
 
     #[test]

@@ -255,14 +255,37 @@ fn bounded(value: u32, max: u32, what: &str) -> io::Result<u32> {
     Ok(value)
 }
 
-/// Save a full training checkpoint to a file path.
+/// Write `bytes` to `path` atomically: serialize-to-buffer callers stage
+/// the payload in a dot-prefixed sibling temp file, then `rename` it over
+/// the target. Readers (and concurrent writers producing identical bytes,
+/// as replayed rank processes do) never observe a half-written file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(".{}.tmp{}", name.to_string_lossy(), std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Save a full training checkpoint to a file path, atomically (temp
+/// sibling + rename): a crash mid-write leaves the previous checkpoint
+/// intact, and concurrent identical writers cannot corrupt each other.
 pub fn save_checkpoint(
     params: &ParamSet,
     opt: &AdamState,
     path: impl AsRef<Path>,
 ) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    write_checkpoint(params, opt, io::BufWriter::new(file))
+    let mut buf = Vec::new();
+    write_checkpoint(params, opt, &mut buf)?;
+    atomic_write(path.as_ref(), &buf)
 }
 
 /// Load a full training checkpoint from a file path. The caller is
@@ -273,10 +296,11 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<(ParamSet, AdamStat
     read_checkpoint(io::BufReader::new(file))
 }
 
-/// Save to a file path.
+/// Save to a file path, atomically (temp sibling + rename).
 pub fn save_params(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    write_params(params, io::BufWriter::new(file))
+    let mut buf = Vec::new();
+    write_params(params, &mut buf)?;
+    atomic_write(path.as_ref(), &buf)
 }
 
 /// Load from a file path. The caller is responsible for checking that the

@@ -14,9 +14,16 @@
 //!   every thread count.
 //!
 //! Worker count resolution (cached): `CGNN_NUM_THREADS`, then
-//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`. Tests
-//! can pin a count for one closure with [`with_num_threads`], which wins
-//! over the environment on the current thread.
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()` capped
+//! by the thread-local *budget* ([`set_thread_budget`]) if one is armed —
+//! an explicit environment pin always wins over the budget. Tests can pin
+//! a count for one closure with [`with_num_threads`], which wins over
+//! everything on the current thread.
+//!
+//! The budget is how multi-rank launchers stop in-process ranks from
+//! oversubscribing the machine: each rank thread gets
+//! `max(1, cores / world_size)` workers instead of all of them, so kernel
+//! parallelism and rank parallelism compose instead of contending.
 //!
 //! Vendored because the build environment has no reachable crates registry;
 //! only the adaptor surface the workspace exercises is implemented.
@@ -28,18 +35,26 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSliceMut};
 }
 
-/// Cached environment-resolved worker count.
-fn env_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
+/// Cached explicit worker-count pin from the environment, if any.
+fn explicit_env_threads() -> Option<usize> {
+    static EXPLICIT: OnceLock<Option<usize>> = OnceLock::new();
+    *EXPLICIT.get_or_init(|| {
         for var in ["CGNN_NUM_THREADS", "RAYON_NUM_THREADS"] {
             if let Some(n) = std::env::var(var)
                 .ok()
                 .and_then(|s| s.parse::<usize>().ok())
             {
-                return n.max(1);
+                return Some(n.max(1));
             }
         }
+        None
+    })
+}
+
+/// Cached hardware parallelism.
+fn available() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
@@ -48,13 +63,32 @@ fn env_num_threads() -> usize {
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static THREAD_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Worker count used by every adaptor on this thread.
+/// Worker count used by every adaptor on this thread: the
+/// [`with_num_threads`] override, else the explicit `CGNN_NUM_THREADS` /
+/// `RAYON_NUM_THREADS` pin, else hardware parallelism capped by the
+/// thread-local budget.
 pub fn current_num_threads() -> usize {
-    THREAD_OVERRIDE
-        .with(Cell::get)
-        .unwrap_or_else(env_num_threads)
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = explicit_env_threads() {
+        return n;
+    }
+    match THREAD_BUDGET.with(Cell::get) {
+        Some(budget) => available().min(budget).max(1),
+        None => available(),
+    }
+}
+
+/// Arm (or clear, with `None`) this thread's worker-count budget,
+/// returning the previous value so callers can restore it. The budget
+/// caps the *default* worker count only; an explicit environment pin or
+/// [`with_num_threads`] override still wins.
+pub fn set_thread_budget(budget: Option<usize>) -> Option<usize> {
+    THREAD_BUDGET.with(|cell| cell.replace(budget.map(|b| b.max(1))))
 }
 
 /// Run `f` with the worker count pinned to `n` on the current thread —
@@ -279,6 +313,20 @@ mod tests {
             });
             assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
         }
+    }
+
+    #[test]
+    fn thread_budget_caps_default_but_not_overrides() {
+        let prev = super::set_thread_budget(Some(1));
+        // The budget caps the hardware default on this thread...
+        if super::explicit_env_threads().is_none() {
+            assert_eq!(super::current_num_threads(), 1);
+        }
+        // ...but an explicit per-closure override still wins.
+        with_num_threads(3, || assert_eq!(super::current_num_threads(), 3));
+        // Restoring the previous budget round-trips.
+        assert_eq!(super::set_thread_budget(prev), Some(1));
+        assert_eq!(super::set_thread_budget(None), prev);
     }
 
     #[test]

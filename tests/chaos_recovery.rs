@@ -123,6 +123,113 @@ fn kill_mid_epoch_recovers_threads() {
     kill_mid_epoch_recovers(Backend::Threads, "threads");
 }
 
+/// Checkpoint directory shared between the parent test process and its
+/// re-exec'd child ranks: a fixed path (no pid — children must see the
+/// checkpoints the parent's rank 0 wrote), wiped only by the parent
+/// (children join mid-run with the checkpoint history intact).
+fn proc_shared_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("cgnn_chaos_proc");
+    if std::env::var_os("CGNN_RANK").is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    std::fs::create_dir_all(&dir).expect("shared ckpt dir");
+    dir
+}
+
+/// The cross-process chaos case: the victim is a real OS *process* (a
+/// re-exec'd child rank) that dies mid-epoch. Its death must cross the
+/// process boundary as the same typed [`RankFailure`] the in-process
+/// backends produce, the liveness probe must unblock every surviving
+/// rank (no hangs — the guard would catch one), and the elastic loop
+/// must shrink 3 → 2 and recover. The recovered trajectory must be
+/// bit-identical both to a fresh cross-process restore at the surviving
+/// world size *and* to the identical scripted scenario on the serial
+/// reference backend.
+#[test]
+fn kill_mid_epoch_recovers_proc() {
+    let _guard = common::hang_guard(Duration::from_secs(300), "proc chaos recovery");
+    // Child rank processes re-run exactly this test and join the spawned
+    // worlds at the matching launch; they exit at their join point, so
+    // everything below the last proc launch runs in the parent only.
+    let _scope = cgnn::comm::reexec_scope([
+        "kill_mid_epoch_recovers_proc",
+        "--exact",
+        "--test-threads=1",
+        "--quiet",
+    ]);
+    let dir = proc_shared_dir();
+    let victim = 2usize;
+    // Comm-op profiles are backend-independent (the schedule is
+    // bit-identical by the equivalence suite), so calibrate on the
+    // in-process serial backend instead of paying a spawned probe run.
+    let (setup, total) = probe_ops(Backend::Serial, 3)[victim];
+    let at_op = setup + (total - setup) * 6 / 10;
+    let plan = FaultPlan::new().kill(0, victim, at_op);
+
+    let elastic = builder(Backend::Proc, 3)
+        .checkpoint(CheckpointPolicy::every(2, &dir).retain(0))
+        .fault_plan(plan.clone())
+        .build()
+        .expect("session")
+        .train_epochs_elastic(EPOCHS, &FaultTolerance::default().max_recoveries(2))
+        .expect("elastic run must recover from a killed child process");
+
+    assert_eq!(elastic.recoveries.len(), 1, "exactly one recovery");
+    assert_eq!(elastic.final_ranks, 2);
+    let event = &elastic.recoveries[0];
+    assert_eq!(event.dead, vec![victim], "the killed child is identified");
+    assert_eq!((event.world_before, event.world_after), (3, 2));
+    let restored_from = event
+        .restored_from
+        .clone()
+        .expect("checkpoints were written before the kill");
+
+    // Pin the checkpoint recovery restored from under a fixed name: the
+    // shared directory keeps accumulating newer checkpoints (the recovered
+    // world writes its own), so a child replaying the elastic loop for the
+    // *next* launch would scan a different "latest" than the parent's
+    // recovery saw. The pinned copy is written by the parent before that
+    // launch and left alone by children (it already exists), so every
+    // process restores the same bytes.
+    let pinned = dir.join("recovery.ckpt");
+    if std::env::var_os("CGNN_RANK").is_none() {
+        std::fs::copy(&restored_from, &pinned).expect("pin recovery checkpoint");
+    }
+
+    // Pinned invariant, cross-process edition: bit-identical to a fresh
+    // proc-backend restore at the surviving world size.
+    let fresh = builder(Backend::Proc, 2)
+        .build()
+        .expect("fresh session")
+        .restore(&pinned)
+        .expect("restore")
+        .train_epochs(EPOCHS);
+    assert_eq!(
+        elastic.reports, fresh,
+        "post-recovery trajectory must be bit-identical to a fresh \
+         cross-process restore at the surviving world size"
+    );
+
+    // Cross-backend: the same scripted scenario on the serial reference
+    // recovers with bit-identical loss trajectories (proc returns rank 0
+    // only; replicas are identical, so rank 0 vs rank 0 is the claim).
+    let serial_dir = tmp_dir("proc_vs_serial");
+    let serial = builder(Backend::Serial, 3)
+        .checkpoint(CheckpointPolicy::every(2, &serial_dir).retain(0))
+        .fault_plan(plan)
+        .build()
+        .expect("serial session")
+        .train_epochs_elastic(EPOCHS, &FaultTolerance::default().max_recoveries(2))
+        .expect("serial scenario must recover");
+    assert_eq!(serial.recoveries[0].dead, vec![victim]);
+    assert_eq!(
+        elastic.reports[0], serial.reports[0],
+        "proc and serial recoveries must produce bit-identical trajectories"
+    );
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn kill_mid_epoch_recovers_serial() {
     kill_mid_epoch_recovers(Backend::Serial, "serial");
